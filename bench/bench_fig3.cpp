@@ -1,0 +1,73 @@
+// Figure 3: CPU utilization of SIMPLE over 300 sampling periods under
+// (a) execution-time factor 0.5 — smooth convergence to the 0.828 set
+// point on both processors — and (b) execution-time factor 7 — instability
+// with severe oscillation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+namespace {
+
+ExperimentResult run_simple(double etf) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(etf);
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 42;
+  cfg.num_periods = 300;
+  return run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::ShapeChecks checks;
+
+  std::printf("# Figure 3(a): etf = 0.5\n");
+  bench::print_header({"k", "u_P1", "u_P2", "set_point"});
+  const ExperimentResult a = run_simple(0.5);
+  for (const auto& rec : a.trace)
+    bench::print_row({static_cast<double>(rec.k), rec.u[0], rec.u[1],
+                      a.set_points[0]});
+
+  std::printf("\n# Figure 3(b): etf = 7\n");
+  bench::print_header({"k", "u_P1", "u_P2", "set_point"});
+  const ExperimentResult b = run_simple(7.0);
+  for (const auto& rec : b.trace)
+    bench::print_row({static_cast<double>(rec.k), rec.u[0], rec.u[1],
+                      b.set_points[0]});
+
+  std::printf("\n");
+  // Shape of (a): starts underutilized, converges, stays in band.
+  checks.expect(a.trace[0].u[0] < 0.6, "(a) starts underutilized");
+  checks.expect(metrics::acceptability(a, 0).acceptable() &&
+                    metrics::acceptability(a, 1).acceptable(),
+                "(a) both processors converge to the set point (±0.02, σ<0.05)");
+  const int settle = metrics::settling_time(a, 0, 0, 0.05, 10);
+  checks.expect(settle >= 0 && settle <= 40,
+                "(a) converges within ~40 sampling periods");
+
+  // Shape of (b): saturated start, then severe oscillation; no convergence.
+  checks.expect(b.trace[0].u[0] > 0.95, "(b) starts fully utilized");
+  checks.expect(metrics::acceptability(b, 0).stddev > 0.05,
+                "(b) severe oscillation on P1 (σ > 0.05)");
+  checks.expect(!metrics::acceptability(b, 1).acceptable(),
+                "(b) P2 fails the acceptability criterion");
+  // Wide-amplitude swings once the initial overload backlog drains (the
+  // paper's trace drops sharply and oscillates; ours oscillates between
+  // ~0.55 and saturation — same instability, different transient depth).
+  double min_u = 1.0, max_u = 0.0;
+  for (const auto& rec : b.trace) {
+    if (rec.k < 60) continue;
+    min_u = std::min(min_u, rec.u[0]);
+    max_u = std::max(max_u, rec.u[0]);
+  }
+  checks.expect(max_u - min_u > 0.35,
+                "(b) sustained wide-amplitude oscillation after the backlog drains");
+
+  return checks.finish("bench_fig3");
+}

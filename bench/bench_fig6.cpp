@@ -1,0 +1,54 @@
+// Figure 6: MEDIUM under OPEN while execution times change dynamically
+// (etf 0.5 -> 0.9 at 100Ts -> 0.33 at 200Ts). Open-loop rates never react,
+// so the utilization fluctuates in lockstep with the load.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+int main() {
+  bench::ShapeChecks checks;
+
+  ExperimentConfig cfg;
+  cfg.spec = workloads::medium();
+  cfg.controller = ControllerKind::kOpen;
+  cfg.sim.etf = rts::EtfProfile::steps(
+      {{0.0, 0.5}, {100000.0, 0.9}, {200000.0, 0.33}});
+  cfg.sim.jitter = 0.2;
+  cfg.sim.seed = 7;
+  cfg.num_periods = 300;
+  const ExperimentResult res = run_experiment(cfg);
+
+  std::printf("# Figure 6: MEDIUM under OPEN, dynamic execution times\n");
+  bench::print_header({"k", "u_P1", "u_P2", "u_P3", "u_P4"});
+  for (const auto& rec : res.trace)
+    bench::print_row({static_cast<double>(rec.k), rec.u[0], rec.u[1],
+                      rec.u[2], rec.u[3]});
+
+  std::printf("\n");
+  const double b1 = res.set_points[0];
+  const double phase1 = metrics::utilization_stats(res, 0, 50, 100).mean();
+  const double phase2 = metrics::utilization_stats(res, 0, 150, 200).mean();
+  const double phase3 = metrics::utilization_stats(res, 0, 250, 300).mean();
+  std::printf("phase means (P1): %.3f / %.3f / %.3f (set point %.3f)\n\n",
+              phase1, phase2, phase3, b1);
+
+  checks.expect(std::abs(phase1 - 0.5 * b1) < 0.05,
+                "phase 1 sits at 0.5 x set point (etf=0.5)");
+  checks.expect(std::abs(phase2 - 0.9 * b1) < 0.07,
+                "phase 2 jumps to 0.9 x set point (etf=0.9)");
+  checks.expect(std::abs(phase3 - 0.33 * b1) < 0.05,
+                "phase 3 drops to 0.33 x set point (etf=0.33)");
+  checks.expect(phase2 - phase3 > 0.3,
+                "utilization fluctuates significantly across load changes");
+  bool never_converges = true;
+  for (std::size_t p = 0; p < 4; ++p)
+    if (metrics::acceptability(res, p, 100).acceptable()) never_converges = false;
+  checks.expect(never_converges,
+                "OPEN never meets the acceptability criterion under dynamic load");
+
+  return checks.finish("bench_fig6");
+}

@@ -1,0 +1,62 @@
+// Figure 8: task rates under EUCON during the dynamic-load run of
+// Figure 7 (the paper plots tasks T1..T6).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+int main() {
+  bench::ShapeChecks checks;
+
+  ExperimentConfig cfg;
+  cfg.spec = workloads::medium();
+  cfg.mpc = workloads::medium_controller_params();
+  cfg.sim.etf = rts::EtfProfile::steps(
+      {{0.0, 0.5}, {100000.0, 0.9}, {200000.0, 0.33}});
+  cfg.sim.jitter = 0.2;
+  cfg.sim.seed = 7;
+  cfg.num_periods = 300;
+  const ExperimentResult res = run_experiment(cfg);
+
+  std::printf("# Figure 8: task rates under EUCON (dynamic execution times)\n");
+  bench::print_header({"k", "r_T1", "r_T2", "r_T3", "r_T4", "r_T5", "r_T6"});
+  for (const auto& rec : res.trace)
+    bench::print_row({static_cast<double>(rec.k), rec.rates[0], rec.rates[1],
+                      rec.rates[2], rec.rates[3], rec.rates[4],
+                      rec.rates[5]});
+
+  std::printf("\n");
+  // Rates move opposite to the load steps and respect the bounds.
+  int tasks_down_at_step1 = 0, tasks_up_at_step2 = 0;
+  for (std::size_t t = 0; t < 6; ++t) {
+    const auto series = res.rate_series(t);
+    if (series[140] < series[95]) ++tasks_down_at_step1;
+    if (series[295] > series[140]) ++tasks_up_at_step2;
+  }
+  checks.expect(tasks_down_at_step1 >= 5,
+                "rates decrease after the +80% execution-time step");
+  checks.expect(tasks_up_at_step2 >= 5,
+                "rates increase after the -67% execution-time step");
+
+  const auto& spec = cfg.spec;
+  bool within_bounds = true;
+  for (const auto& rec : res.trace)
+    for (std::size_t t = 0; t < spec.num_tasks(); ++t)
+      if (rec.rates[t] < spec.tasks[t].rate_min - 1e-12 ||
+          rec.rates[t] > spec.tasks[t].rate_max + 1e-12)
+        within_bounds = false;
+  checks.expect(within_bounds, "all rates stay inside [Rmin, Rmax] throughout");
+
+  // Rates settle in each steady phase (no drift): compare two late samples.
+  bool settled = true;
+  for (std::size_t t = 0; t < 6; ++t) {
+    const auto series = res.rate_series(t);
+    if (std::abs(series[295] - series[270]) > 0.25 * series[295])
+      settled = false;
+  }
+  checks.expect(settled, "rates settle within each steady phase");
+
+  return checks.finish("bench_fig8");
+}

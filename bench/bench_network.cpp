@@ -1,0 +1,104 @@
+// Links-as-processors study (paper §7.1's network-delay remark).
+//
+// Applies the transform to SIMPLE and MEDIUM, closes the EUCON loop over
+// compute processors *and* links, and quantifies (a) that link utilization
+// is controlled like CPU utilization, (b) the end-to-end response cost of
+// explicit transmission times, and (c) that the compute processors still
+// track their set points.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+int main() {
+  bench::ShapeChecks checks;
+
+  network::LinkModelParams params;
+  params.transmission_time = 4.0;
+
+  // --- SIMPLE with a modeled P1 -> P2 link ------------------------------
+  const network::LinkedSystem simple_linked =
+      network::with_network_links(workloads::simple(), params);
+  std::printf("# SIMPLE with links: %d compute + %d link processors\n",
+              simple_linked.num_compute, simple_linked.num_links);
+
+  ExperimentConfig cfg;
+  cfg.spec = simple_linked.spec;
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 4;
+  cfg.num_periods = 300;
+  const ExperimentResult res = run_experiment(cfg);
+
+  bench::print_header({"processor", "mean_u", "stddev", "set_point"});
+  for (std::size_t p = 0; p < res.set_points.size(); ++p) {
+    const auto s = metrics::utilization_stats(res, p, 100);
+    bench::print_row({static_cast<double>(p), s.mean(), s.stddev(),
+                      res.set_points[p]});
+  }
+
+  checks.expect(simple_linked.num_links == 1,
+                "SIMPLE has exactly one inter-processor hop (T2: P1 -> P2)");
+  checks.expect(metrics::acceptability(res, 0).acceptable() &&
+                    metrics::acceptability(res, 1).acceptable(),
+                "compute processors still track their set points");
+  const auto link_stats = metrics::utilization_stats(
+      res, static_cast<std::size_t>(simple_linked.link_between(0, 1)), 100);
+  checks.expect(link_stats.max() < 1.0,
+                "the link never saturates (congestion protection)");
+  checks.expect(link_stats.mean() > 0.02 && link_stats.mean() < 0.5,
+                "link carries T2's traffic at a controlled level");
+
+  // --- Response-time cost ------------------------------------------------
+  rts::Simulator plain(workloads::simple(), rts::SimOptions{});
+  rts::Simulator linked_sim(simple_linked.spec, rts::SimOptions{});
+  plain.run_until_units(30000.0);
+  linked_sim.run_until_units(30000.0);
+  const double plain_resp =
+      plain.deadline_stats().task(1).response_time_units.mean();
+  const double linked_resp =
+      linked_sim.deadline_stats().task(1).response_time_units.mean();
+  std::printf("\nT2 mean end-to-end response: %.2f (no links) vs %.2f "
+              "(transmission modeled)\n", plain_resp, linked_resp);
+  checks.expect(linked_resp > plain_resp,
+                "explicit transmission time lengthens the end-to-end response");
+
+  // --- MEDIUM scale ------------------------------------------------------
+  const network::LinkedSystem med =
+      network::with_network_links(workloads::medium(), params);
+  std::printf("\nMEDIUM with links: %d compute + %d link processors, %zu "
+              "subtasks\n", med.num_compute, med.num_links,
+              med.spec.num_subtasks());
+  ExperimentConfig mcfg;
+  mcfg.spec = med.spec;
+  mcfg.mpc = workloads::medium_controller_params();
+  // The Q-weight knob from §6.1: compute processors carry the QoS, links
+  // only need overload protection, so their tracking weight is reduced
+  // (their u <= B constraint stays hard).
+  mcfg.mpc.q = linalg::Vector(static_cast<std::size_t>(med.spec.num_processors), 1.0);
+  for (int l = 0; l < med.num_links; ++l)
+    mcfg.mpc.q[static_cast<std::size_t>(med.num_compute + l)] = 0.05;
+  mcfg.sim.etf = rts::EtfProfile::constant(0.5);
+  mcfg.sim.jitter = 0.2;
+  mcfg.sim.seed = 7;
+  mcfg.num_periods = 300;
+  const ExperimentResult mres = run_experiment(mcfg);
+  bool compute_ok = true;
+  for (std::size_t p = 0; p < 4; ++p)
+    compute_ok = compute_ok &&
+                 metrics::acceptability(mres, p, 100, 0, 0.03, 0.05).acceptable();
+  checks.expect(compute_ok,
+                "MEDIUM compute processors acceptable with 5 links modeled");
+  bool links_safe = true;
+  for (int l = 0; l < med.num_links; ++l) {
+    const auto s = metrics::utilization_stats(
+        mres, static_cast<std::size_t>(med.num_compute + l), 100);
+    if (s.max() >= 1.0) links_safe = false;
+  }
+  checks.expect(links_safe, "no MEDIUM link ever saturates");
+
+  return checks.finish("bench_network");
+}

@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark): cost of the controller's on-line
+// optimization (the paper notes lsqlin's polynomial cost in m·n·P·M and
+// that the controller suits "small to medium scale systems"), simulator
+// throughput, and the stability-analysis eigensolver.
+#include <benchmark/benchmark.h>
+
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+namespace {
+
+// One controller update on a random workload with `tasks` tasks across 4
+// processors, P=4 / M=2 (the MEDIUM controller settings).
+void BM_MpcUpdateByTasks(benchmark::State& state) {
+  workloads::RandomWorkloadParams p;
+  p.num_processors = 4;
+  p.num_tasks = static_cast<int>(state.range(0));
+  const auto spec = workloads::random_workload(p, 42);
+  const auto model = control::make_plant_model(spec);
+  control::MpcController ctrl(model, workloads::medium_controller_params(),
+                              spec.initial_rate_vector());
+  linalg::Vector u(model.num_processors(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.update(u));
+    // Perturb so the active set keeps working.
+    u[0] = u[0] > 0.5 ? 0.4 : 0.6;
+  }
+  state.SetLabel(std::to_string(spec.num_subtasks()) + " subtasks");
+}
+BENCHMARK(BM_MpcUpdateByTasks)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Horizon scaling at fixed workload size (the P·M term of the cost).
+void BM_MpcUpdateByHorizon(benchmark::State& state) {
+  const auto spec = workloads::medium();
+  const auto model = control::make_plant_model(spec);
+  control::MpcParams params = workloads::medium_controller_params();
+  params.prediction_horizon = static_cast<int>(state.range(0));
+  params.control_horizon = static_cast<int>(state.range(0)) / 2;
+  control::MpcController ctrl(model, params, spec.initial_rate_vector());
+  linalg::Vector u(model.num_processors(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.update(u));
+    u[0] = u[0] > 0.5 ? 0.4 : 0.6;
+  }
+}
+BENCHMARK(BM_MpcUpdateByHorizon)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// The standalone constrained least-squares solver on an MPC-shaped problem.
+void BM_Lsqlin(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  linalg::Matrix c(2 * n, n);
+  linalg::Vector d(2 * n);
+  for (std::size_t r = 0; r < 2 * n; ++r) {
+    d[r] = rng.uniform(-1.0, 1.0);
+    for (std::size_t cc = 0; cc < n; ++cc) c(r, cc) = rng.uniform(0.0, 1.0);
+  }
+  qp::LsqlinProblem prob;
+  prob.c = c;
+  prob.d = d;
+  prob.a = linalg::Matrix(0, n);
+  prob.b = linalg::Vector(0);
+  prob.lb = linalg::Vector(n, -0.5);
+  prob.ub = linalg::Vector(n, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(qp::lsqlin(prob));
+}
+BENCHMARK(BM_Lsqlin)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Simulator throughput: one sampling period (1000 time units) of MEDIUM.
+void BM_SimulateMediumPeriod(benchmark::State& state) {
+  rts::SimOptions opts;
+  opts.jitter = 0.2;
+  rts::Simulator sim(workloads::medium(), opts);
+  Ticks t = 0;
+  const Ticks ts = units_to_ticks(1000.0);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    t += ts;
+    sim.run_until(t);
+    benchmark::DoNotOptimize(sim.sample_utilizations());
+  }
+  jobs = sim.jobs_released();
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+  state.SetLabel("jobs/iteration ~" +
+                 std::to_string(jobs / std::max<std::uint64_t>(
+                                           1, state.iterations())));
+}
+BENCHMARK(BM_SimulateMediumPeriod);
+
+// Full closed-loop period: simulate + sample + control + actuate.
+void BM_ClosedLoopPeriod(benchmark::State& state) {
+  rts::SimOptions opts;
+  opts.jitter = 0.2;
+  const auto spec = workloads::medium();
+  rts::Simulator sim(spec, opts);
+  const auto model = control::make_plant_model(spec);
+  control::MpcController ctrl(model, workloads::medium_controller_params(),
+                              spec.initial_rate_vector());
+  Ticks t = 0;
+  const Ticks ts = units_to_ticks(1000.0);
+  for (auto _ : state) {
+    t += ts;
+    sim.run_until(t);
+    const auto u = sim.sample_utilizations();
+    sim.set_rates(ctrl.update(linalg::Vector(u)).data());
+  }
+}
+BENCHMARK(BM_ClosedLoopPeriod);
+
+// Eigenvalues of the closed-loop matrix (stability analysis inner loop).
+void BM_ClosedLoopEigenvalues(benchmark::State& state) {
+  workloads::RandomWorkloadParams p;
+  p.num_processors = 4;
+  p.num_tasks = static_cast<int>(state.range(0));
+  const auto spec = workloads::random_workload(p, 3);
+  control::StabilityAnalyzer an(control::make_plant_model(spec),
+                                workloads::medium_controller_params());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(an.spectral_radius_uniform(1.5));
+}
+BENCHMARK(BM_ClosedLoopEigenvalues)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CriticalGainSearch(benchmark::State& state) {
+  control::StabilityAnalyzer an(
+      control::make_plant_model(workloads::simple()),
+      workloads::simple_controller_params());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(an.critical_uniform_gain());
+}
+BENCHMARK(BM_CriticalGainSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

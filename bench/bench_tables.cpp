@@ -1,0 +1,72 @@
+// Tables 1 and 2 of the paper: the SIMPLE task parameters and the
+// controller parameters, regenerated from the workload builders (with
+// consistency checks), plus the derived quantities the experiments use
+// (allocation matrix F and the Liu–Layland set points of eq. 13).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+int main() {
+  bench::ShapeChecks checks;
+
+  std::printf("# Table 1: task parameters in SIMPLE\n");
+  bench::print_header({"Tij", "Proc", "cij", "1/Rmax", "1/Rmin", "1/r(0)"});
+  const rts::SystemSpec s = workloads::simple();
+  for (std::size_t i = 0; i < s.num_tasks(); ++i) {
+    const auto& t = s.tasks[i];
+    for (std::size_t j = 0; j < t.subtasks.size(); ++j) {
+      std::printf("T%zu%zu,P%d,%g,%g,%g,%g\n", i + 1, j + 1,
+                  t.subtasks[j].processor + 1, t.subtasks[j].estimated_exec,
+                  1.0 / t.rate_max, 1.0 / t.rate_min, 1.0 / t.initial_rate);
+    }
+  }
+  checks.expect(s.num_tasks() == 3 && s.num_subtasks() == 4,
+                "SIMPLE has 3 tasks / 4 subtasks");
+  checks.expect(s.tasks[1].subtasks[0].processor == 0 &&
+                    s.tasks[1].subtasks[1].processor == 1,
+                "T2 spans P1 -> P2");
+
+  std::printf("\n# Table 2: controller parameters\n");
+  bench::print_header({"System", "P", "M", "Tref/Ts", "Ts"});
+  const auto ps = workloads::simple_controller_params();
+  const auto pm = workloads::medium_controller_params();
+  std::printf("SIMPLE,%d,%d,%g,1000\n", ps.prediction_horizon,
+              ps.control_horizon, ps.tref_over_ts);
+  std::printf("MEDIUM,%d,%d,%g,1000\n", pm.prediction_horizon,
+              pm.control_horizon, pm.tref_over_ts);
+  checks.expect(ps.prediction_horizon == 2 && ps.control_horizon == 1,
+                "SIMPLE controller P=2, M=1");
+  checks.expect(pm.prediction_horizon == 4 && pm.control_horizon == 2,
+                "MEDIUM controller P=4, M=2");
+
+  std::printf("\n# Derived: subtask allocation matrix F (SIMPLE, paper section 5)\n");
+  const auto model = control::make_plant_model(s);
+  for (std::size_t r = 0; r < model.f.rows(); ++r) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < model.f.cols(); ++c) row.push_back(model.f(r, c));
+    bench::print_row(row);
+  }
+  checks.expect(model.f(0, 0) == 35.0 && model.f(0, 1) == 35.0 &&
+                    model.f(1, 1) == 35.0 && model.f(1, 2) == 45.0,
+                "F matches [c11 c21 0; 0 c22 c31]");
+
+  std::printf("\n# Derived: Liu-Layland set points (eq. 13)\n");
+  bench::print_row(model.b.data());
+  checks.expect(std::abs(model.b[0] - 0.828) < 5e-4,
+                "SIMPLE set points = 0.828 (both processors host 2 subtasks)");
+
+  const auto med = workloads::medium();
+  const auto medb = med.liu_layland_set_points();
+  std::printf("\n# Derived: MEDIUM set points\n");
+  bench::print_row(medb.data());
+  checks.expect(med.num_tasks() == 12 && med.num_subtasks() == 25,
+                "MEDIUM has 12 tasks / 25 subtasks (8 end-to-end + 4 local)");
+  checks.expect(std::abs(medb[0] - 0.729) < 5e-4,
+                "MEDIUM P1 set point = 0.729 (quoted in paper section 7.2)");
+
+  return checks.finish("bench_tables");
+}

@@ -1,0 +1,73 @@
+// Capacity planning with the analysis tools: before deploying, check the
+// plant structurally (diagnostics), compare scheduler choices analytically
+// (Liu–Collard bounds vs EDF), then validate the chosen operating point in
+// replicated closed-loop simulation with confidence intervals.
+//
+//   ./capacity_planning
+#include <cstdio>
+
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+int main() {
+  const rts::SystemSpec app = workloads::medium();
+
+  // 1. Structural pre-flight: is every processor steerable, every set
+  //    point reachable inside the rate boxes?
+  const auto model = control::make_plant_model(app);
+  const auto diag = control::diagnose_plant(model);
+  std::printf("--- plant diagnostics ---\n%s\n",
+              control::to_string(diag).c_str());
+  if (!diag.structurally_feasible()) {
+    std::printf("aborting: fix the task set first\n");
+    return 1;
+  }
+
+  // 2. Scheduler choice: how much utilization can each policy certify?
+  const auto rms_bounds = app.liu_layland_set_points();
+  std::printf("--- certifiable set points ---\n");
+  std::printf("RMS (Liu-Layland): %.3f %.3f %.3f %.3f\n", rms_bounds[0],
+              rms_bounds[1], rms_bounds[2], rms_bounds[3]);
+  std::printf("EDF               : 1.000 each (we operate at 0.90 for "
+              "stochastic headroom)\n\n");
+
+  // 3. Validate both operating points in replicated simulation: 6 seeds,
+  //    execution times 30%% above the estimates (etf 1.3) with ±20%% jitter.
+  for (const bool use_edf : {false, true}) {
+    ExperimentConfig cfg;
+    cfg.spec = app;
+    cfg.mpc = workloads::medium_controller_params();
+    cfg.sim.etf = rts::EtfProfile::constant(1.3);
+    cfg.sim.jitter = 0.2;
+    cfg.num_periods = 250;
+    if (use_edf) {
+      cfg.sim.policy = rts::SchedulingPolicy::kEdf;
+      cfg.set_points = linalg::Vector(4, 0.90);
+    }
+    const ReplicatedResult rep = run_replicated(cfg, 6, /*seed0=*/100, 120);
+
+    std::printf("--- %s, 6 seeds ---\n", use_edf ? "EDF @ 0.90" : "RMS @ Liu-Layland");
+    for (std::size_t p = 0; p < rep.per_processor.size(); ++p) {
+      const auto& s = rep.per_processor[p];
+      std::printf("P%zu: mean %.4f +- %.4f (95%% CI), sigma %.4f, "
+                  "acceptable in %zu/%zu runs\n",
+                  p + 1, s.mean_of_means, s.ci95_halfwidth, s.mean_of_stddevs,
+                  s.acceptable_runs, s.replicas);
+    }
+    std::printf("mean subtask miss ratio: %.4f\n", rep.mean_subtask_miss);
+
+    // Throughput value delivered (normalized rates, §3.1).
+    ExperimentConfig one = cfg;
+    one.sim.seed = 100;
+    const double value =
+        metrics::accrued_value(run_experiment(one), app, 120);
+    std::printf("application value (normalized rate sum): %.2f / %zu\n\n",
+                value, app.num_tasks());
+  }
+
+  std::printf("EDF certifies ~23%% more utilization per processor, which the\n"
+              "controller converts into proportionally higher task rates —\n"
+              "at the cost of dynamic-priority scheduling in the kernel.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// A multi-tier online trading cluster (the paper's E-business motivation).
+//
+// Requests traverse web -> application -> database tiers (an end-to-end
+// chain per request class); demand swings over the trading day are modeled
+// as a time-varying execution-time factor (morning calm, mid-day surge,
+// closing frenzy, after-hours). The operator cares about overload
+// protection: no tier may exceed its utilization set point, or response
+// times blow up and the kernel starves (§3.3).
+//
+// The run compares EUCON with OPEN on per-phase utilization and deadline
+// misses of the request classes.
+//
+//   ./online_trading
+#include <cstdio>
+
+#include "eucon/eucon.h"
+
+using namespace eucon;
+
+namespace {
+
+rts::SystemSpec trading_cluster() {
+  rts::SystemSpec s;
+  s.num_processors = 3;  // P1 web, P2 app, P3 db
+  auto task = [](std::string name, std::vector<rts::SubtaskSpec> subs,
+                 double init_p) {
+    rts::TaskSpec t;
+    t.name = std::move(name);
+    t.subtasks = std::move(subs);
+    t.rate_min = 1.0 / 3000.0;
+    t.rate_max = 1.0 / 10.0;
+    t.initial_rate = 1.0 / init_p;
+    return t;
+  };
+  // Request classes (batched request streams, one "task instance" = one
+  // batch): quotes are light, orders touch every tier, settlement is
+  // db-heavy, the portfolio view is app-heavy.
+  s.tasks.push_back(task("quote_stream", {{0, 12.0}, {1, 9.0}}, 120.0));
+  s.tasks.push_back(task("order_flow", {{0, 14.0}, {1, 18.0}, {2, 16.0}}, 200.0));
+  s.tasks.push_back(task("settlement", {{1, 10.0}, {2, 24.0}}, 260.0));
+  s.tasks.push_back(task("portfolio_view", {{0, 10.0}, {1, 20.0}}, 220.0));
+  s.tasks.push_back(task("risk_check", {{2, 18.0}}, 240.0));
+  s.tasks.push_back(task("session_gc", {{0, 15.0}}, 300.0));
+  s.validate();
+  return s;
+}
+
+rts::EtfProfile trading_day() {
+  // Demand profile over 400 sampling periods.
+  return rts::EtfProfile::steps({
+      {0.0, 0.5},       // pre-open
+      {80000.0, 1.0},   // morning
+      {160000.0, 1.6},  // mid-day surge
+      {260000.0, 2.2},  // closing frenzy
+      {330000.0, 0.4},  // after hours
+  });
+}
+
+void print_report(const char* name, const ExperimentResult& res) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%-18s %-8s %-8s %-8s\n", "phase", "u(web)", "u(app)", "u(db)");
+  const struct {
+    const char* label;
+    std::size_t from, to;
+  } phases[] = {{"pre-open", 30, 80},     {"morning", 110, 160},
+                {"mid-day surge", 190, 260}, {"closing frenzy", 290, 330},
+                {"after hours", 360, 400}};
+  for (const auto& ph : phases) {
+    std::printf("%-18s %-8.3f %-8.3f %-8.3f\n", ph.label,
+                metrics::utilization_stats(res, 0, ph.from, ph.to).mean(),
+                metrics::utilization_stats(res, 1, ph.from, ph.to).mean(),
+                metrics::utilization_stats(res, 2, ph.from, ph.to).mean());
+  }
+  std::printf("set points: %.3f %.3f %.3f\n", res.set_points[0],
+              res.set_points[1], res.set_points[2]);
+  std::printf("batch deadline miss ratio: %.4f\n",
+              res.deadlines.e2e_miss_ratio());
+  double saturated = 0, total = 0;
+  for (const auto& rec : res.trace)
+    for (double u : rec.u) {
+      total += 1;
+      if (u > 0.98) saturated += 1;
+    }
+  std::printf("tier-saturation ratio (u > 0.98): %.3f\n", saturated / total);
+}
+
+}  // namespace
+
+int main() {
+  for (ControllerKind kind : {ControllerKind::kOpen, ControllerKind::kEucon}) {
+    ExperimentConfig cfg;
+    cfg.spec = trading_cluster();
+    cfg.controller = kind;
+    cfg.mpc = workloads::medium_controller_params();
+    cfg.sim.etf = trading_day();
+    cfg.sim.jitter = 0.25;  // bursty per-request service times
+    cfg.sim.seed = 2026;
+    cfg.num_periods = 400;
+    print_report(controller_kind_name(kind), run_experiment(cfg));
+  }
+  std::printf(
+      "\nUnder OPEN the surge saturates the tiers (u -> 1, missed\n"
+      "deadlines); EUCON sheds batch rate to hold every tier at its set\n"
+      "point and restores throughput after hours.\n");
+  return 0;
+}

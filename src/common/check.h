@@ -1,0 +1,41 @@
+// Precondition / invariant checking macros.
+//
+// EUCON_REQUIRE is for preconditions on public APIs (misuse by the caller)
+// and throws std::invalid_argument. EUCON_ASSERT is for internal invariants
+// and throws std::logic_error; it stays enabled in release builds because
+// every call site is far from any hot loop's inner body.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eucon::detail {
+
+[[noreturn]] inline void throw_require(const char* cond, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace eucon::detail
+
+#define EUCON_REQUIRE(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) ::eucon::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define EUCON_ASSERT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) ::eucon::detail::throw_assert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

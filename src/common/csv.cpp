@@ -1,0 +1,56 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace eucon {
+
+namespace {
+
+std::string escape_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string CsvWriter::format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_cells(columns);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v));
+  write_cells(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) *out_ << ',';
+    *out_ << escape_cell(cell);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+CsvFile::CsvFile(const std::string& path) : stream_(path), writer_(stream_) {
+  EUCON_REQUIRE(stream_.good(), "cannot open CSV file: " + path);
+}
+
+}  // namespace eucon

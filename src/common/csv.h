@@ -1,0 +1,40 @@
+// Minimal CSV writer used by the figure-reproduction benches and examples.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eucon {
+
+// Writes rows to an std::ostream. Values are formatted with enough digits
+// to round-trip; strings containing separators/quotes are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<double>& values);
+  // Mixed row: already-formatted cells.
+  void write_cells(const std::vector<std::string>& cells);
+
+  static std::string format_double(double v);
+
+ private:
+  std::ostream* out_;
+};
+
+// Convenience owner: opens a file (throws on failure) and exposes a writer.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path);
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+}  // namespace eucon

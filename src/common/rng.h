@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256++ seeded via SplitMix64. We implement our own generator rather
+// than using std::mt19937 so that streams are cheap to split per subtask
+// (each subtask gets an independent, reproducible stream derived from the
+// experiment seed), and so results are identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace eucon {
+
+// SplitMix64: used for seeding and for deriving independent stream seeds.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent generator for substream `stream_id`.
+  // Two distinct stream ids produce statistically independent sequences.
+  Rng split(std::uint64_t stream_id) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained so split() can derive substreams
+};
+
+}  // namespace eucon

@@ -1,0 +1,33 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eucon {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+RunningStats stats_over(const std::vector<double>& series, std::size_t first,
+                        std::size_t last) {
+  EUCON_REQUIRE(first <= last && last <= series.size(), "bad stats window");
+  RunningStats s;
+  for (std::size_t i = first; i < last; ++i) s.add(series[i]);
+  return s;
+}
+
+}  // namespace eucon

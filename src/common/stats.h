@@ -1,0 +1,38 @@
+// Streaming statistics accumulators.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace eucon {
+
+// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Population variance / standard deviation (matches how the paper
+  // characterizes per-run utilization deviation).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  // Sample variance (n-1 denominator), for inference-style uses.
+  double sample_variance() const;
+  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stats over a slice [first, last) of a stored series.
+RunningStats stats_over(const std::vector<double>& series, std::size_t first,
+                        std::size_t last);
+
+}  // namespace eucon

@@ -1,0 +1,41 @@
+// Integer time base for the real-time system simulator.
+//
+// The paper measures everything in abstract "time units" (Ts = 1000 time
+// units, execution times of a few tens of units). We represent simulated
+// time as a signed 64-bit count of *ticks*, with 10^6 ticks per time unit.
+// An integer time base gives exact event ordering and exact busy-time
+// accounting; doubles are used only at the boundary (rates, utilizations).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace eucon {
+
+using Ticks = std::int64_t;
+
+// Number of ticks in one abstract "time unit" of the paper.
+inline constexpr Ticks kTicksPerUnit = 1'000'000;
+
+inline constexpr Ticks kNeverTicks = std::numeric_limits<Ticks>::max();
+
+// Converts a duration in time units to ticks (round to nearest).
+// Values are clamped to be non-negative; a zero duration is legal (an
+// instantaneous event) but the simulator enforces positive execution times
+// where required.
+inline Ticks units_to_ticks(double units) {
+  if (units <= 0.0) return 0;
+  return static_cast<Ticks>(std::llround(units * static_cast<double>(kTicksPerUnit)));
+}
+
+inline double ticks_to_units(Ticks t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerUnit);
+}
+
+// Period (in ticks) of a task running at `rate` invocations per time unit.
+inline Ticks rate_to_period_ticks(double rate) {
+  return units_to_ticks(1.0 / rate);
+}
+
+}  // namespace eucon

@@ -1,0 +1,28 @@
+#include "control/adaptive.h"
+
+namespace eucon::control {
+
+using linalg::Vector;
+
+AdaptiveMpcController::AdaptiveMpcController(PlantModel model,
+                                             MpcParams params,
+                                             Vector initial_rates,
+                                             GainEstimatorParams est_params)
+    : model_(std::move(model)),
+      mpc_(model_, std::move(params), std::move(initial_rates)),
+      estimator_(model_.num_processors(), est_params) {}
+
+Vector AdaptiveMpcController::update(const Vector& u) {
+  if (have_prev_) {
+    // What the (unscaled) model said last period's move would do…
+    const Vector predicted_db = model_.f * mpc_.last_applied_delta();
+    // …versus what actually happened.
+    const Vector measured_du = u - u_prev_;
+    mpc_.set_gain_estimate(estimator_.update(predicted_db, measured_du));
+  }
+  u_prev_ = u;
+  have_prev_ = true;
+  return mpc_.update(u);
+}
+
+}  // namespace eucon::control

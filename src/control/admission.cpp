@@ -1,0 +1,123 @@
+#include "control/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+using linalg::Vector;
+
+AdmissionGovernor::AdmissionGovernor(PlantModel model, AdmissionParams params)
+    : model_(std::move(model)),
+      params_(std::move(params)),
+      enabled_(model_.num_tasks(), true) {
+  model_.validate();
+  // The cooldown spaces consecutive actions; the first action only waits
+  // for the patience streak.
+  periods_since_action_ = params_.cooldown;
+  EUCON_REQUIRE(params_.patience >= 1, "patience must be >= 1");
+  EUCON_REQUIRE(params_.cooldown >= 0, "cooldown must be >= 0");
+  EUCON_REQUIRE(params_.task_values.empty() ||
+                    params_.task_values.size() == model_.num_tasks(),
+                "task_values size mismatch");
+}
+
+double AdmissionGovernor::value_of(std::size_t task) const {
+  if (!params_.task_values.empty()) return params_.task_values[task];
+  // Default: earlier tasks are more important.
+  return static_cast<double>(model_.num_tasks() - task);
+}
+
+bool AdmissionGovernor::rate_saturated(const Vector& rates,
+                                       std::size_t task) const {
+  return rates[task] <= model_.rate_min[task] * (1.0 + 1e-6);
+}
+
+const std::vector<bool>& AdmissionGovernor::update(const Vector& u,
+                                                   const Vector& rates) {
+  EUCON_REQUIRE(u.size() == model_.num_processors(), "utilization size mismatch");
+  EUCON_REQUIRE(rates.size() == model_.num_tasks(), "rate size mismatch");
+  ++periods_since_action_;
+
+  // A processor is "stuck overloaded" when it exceeds its set point and
+  // every enabled task contributing to it already runs at R_min.
+  std::vector<std::size_t> stuck;
+  for (std::size_t p = 0; p < model_.num_processors(); ++p) {
+    if (u[p] <= model_.b[p] + params_.overload_tol) continue;
+    bool all_saturated = true;
+    bool any_enabled = false;
+    for (std::size_t j = 0; j < model_.num_tasks(); ++j) {
+      if (model_.f(p, j) == 0.0 || !enabled_[j]) continue;
+      any_enabled = true;
+      if (!rate_saturated(rates, j)) all_saturated = false;
+    }
+    if (any_enabled && all_saturated) stuck.push_back(p);
+  }
+
+  if (!stuck.empty()) {
+    ++saturated_streak_;
+    if (saturated_streak_ >= params_.patience &&
+        periods_since_action_ >= params_.cooldown) {
+      // Suspend the least-valuable enabled task touching a stuck processor.
+      int victim = -1;
+      double worst_value = 0.0;
+      for (std::size_t j = 0; j < model_.num_tasks(); ++j) {
+        if (!enabled_[j]) continue;
+        bool touches_stuck = false;
+        for (std::size_t p : stuck)
+          if (model_.f(p, j) > 0.0) touches_stuck = true;
+        if (!touches_stuck) continue;
+        if (victim < 0 || value_of(j) < worst_value) {
+          victim = static_cast<int>(j);
+          worst_value = value_of(j);
+        }
+      }
+      // Never suspend the last enabled task.
+      if (victim >= 0 &&
+          std::count(enabled_.begin(), enabled_.end(), true) > 1) {
+        enabled_[static_cast<std::size_t>(victim)] = false;
+        ++suspensions_;
+        saturated_streak_ = 0;
+        periods_since_action_ = 0;
+      }
+    }
+    return enabled_;
+  }
+  saturated_streak_ = 0;
+
+  // Headroom everywhere: consider re-admitting the most valuable suspended
+  // task whose *estimated* minimum-rate load fits under B - margin on every
+  // processor it touches.
+  if (periods_since_action_ >= params_.cooldown) {
+    int candidate = -1;
+    double best_value = 0.0;
+    for (std::size_t j = 0; j < model_.num_tasks(); ++j) {
+      if (enabled_[j]) continue;
+      bool fits = true;
+      for (std::size_t p = 0; p < model_.num_processors(); ++p) {
+        if (model_.f(p, j) == 0.0) continue;
+        const double added = model_.f(p, j) * model_.rate_min[j];
+        if (u[p] + added > model_.b[p] - params_.readmit_margin) fits = false;
+      }
+      if (!fits) continue;
+      if (candidate < 0 || value_of(j) > best_value) {
+        candidate = static_cast<int>(j);
+        best_value = value_of(j);
+      }
+    }
+    if (candidate >= 0) {
+      enabled_[static_cast<std::size_t>(candidate)] = true;
+      ++readmissions_;
+      periods_since_action_ = 0;
+    }
+  }
+  return enabled_;
+}
+
+std::size_t AdmissionGovernor::num_suspended() const {
+  return static_cast<std::size_t>(
+      std::count(enabled_.begin(), enabled_.end(), false));
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,66 @@
+// Admission control: the paper's suggested escape hatch when rate
+// adaptation alone cannot enforce the set points (§6.2: "the system may
+// switch to a different control adaptation mechanism (e.g., admission
+// control or task reallocation)"; §3.1 lists admission control among the
+// adaptation mechanisms the framework can incorporate).
+//
+// The governor watches the loop: when a processor stays above its set
+// point although every enabled task on it already runs at R_min (rate
+// adaptation is saturated), it suspends the least-valuable involved task.
+// When enough headroom accumulates it re-admits the most valuable
+// suspended task whose estimated minimum load fits everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/model.h"
+#include "linalg/vector.h"
+
+namespace eucon::control {
+
+struct AdmissionParams {
+  // Consecutive saturated periods before a suspension.
+  int patience = 5;
+  // Re-admission requires u_p + (candidate's estimated load at R_min)
+  // <= B_p - margin on every processor the candidate touches.
+  double readmit_margin = 0.05;
+  // Minimum periods between consecutive admission actions.
+  int cooldown = 10;
+  // Per-task value; higher = more important = suspended later, re-admitted
+  // first. Empty = tasks are valued by index (earlier = more important),
+  // matching the common convention of listing critical tasks first.
+  std::vector<double> task_values;
+  // Tolerance above B that counts as overload.
+  double overload_tol = 0.02;
+};
+
+class AdmissionGovernor {
+ public:
+  AdmissionGovernor(PlantModel model, AdmissionParams params);
+
+  // One governor step per sampling period. `u` is the measured utilization,
+  // `rates` the currently applied task rates. Returns the enabled-task mask
+  // to apply (to both the simulator and the controller).
+  const std::vector<bool>& update(const linalg::Vector& u,
+                                  const linalg::Vector& rates);
+
+  const std::vector<bool>& enabled() const { return enabled_; }
+  std::size_t num_suspended() const;
+  std::uint64_t suspensions() const { return suspensions_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+
+ private:
+  bool rate_saturated(const linalg::Vector& rates, std::size_t task) const;
+  double value_of(std::size_t task) const;
+
+  PlantModel model_;
+  AdmissionParams params_;
+  std::vector<bool> enabled_;
+  int saturated_streak_ = 0;
+  int periods_since_action_ = 0;  // initialized to cooldown in the ctor
+  std::uint64_t suspensions_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace eucon::control

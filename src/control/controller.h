@@ -1,0 +1,22 @@
+// Common interface for utilization controllers (EUCON, OPEN, PID).
+#pragma once
+
+#include <string>
+
+#include "linalg/vector.h"
+
+namespace eucon::control {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  // Invoked at the end of every sampling period with the measured
+  // utilization vector u(k); returns the task-rate vector r(k) to apply for
+  // the next period.
+  virtual linalg::Vector update(const linalg::Vector& u) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eucon::control

@@ -1,0 +1,122 @@
+#include "control/decentralized.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+DecentralizedMpcController::DecentralizedMpcController(PlantModel model,
+                                                       MpcParams params,
+                                                       Vector initial_rates)
+    : model_(std::move(model)), rates_(std::move(initial_rates)) {
+  model_.validate();
+  const std::size_t n = model_.num_processors();
+  const std::size_t m = model_.num_tasks();
+  EUCON_REQUIRE(rates_.size() == m, "initial rate vector size mismatch");
+  rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
+
+  // Ownership: a task belongs to the processor with the largest allocation
+  // entry among those it touches — a deterministic stand-in for "the
+  // processor of the first subtask", which the flattened F cannot recover.
+  // (Builders that keep the spec around can instead construct per-node
+  // models directly; for utilization control only F matters.)
+  std::vector<std::vector<std::size_t>> owned(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::size_t owner = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (model_.f(i, j) > best) {
+        best = model_.f(i, j);
+        owner = i;
+      }
+    }
+    EUCON_REQUIRE(best > 0.0, "task touches no processor");
+    owned[owner].push_back(j);
+  }
+
+  node_of_.assign(n, static_cast<std::size_t>(-1));
+  for (std::size_t p = 0; p < n; ++p) {
+    if (owned[p].empty()) continue;
+    Node node;
+    node.processor = p;
+    node.owned = owned[p];
+    // Neighborhood: p first, then every processor touched by an owned task.
+    node.neighbors.push_back(p);
+    for (std::size_t j : node.owned) {
+      for (std::size_t q = 0; q < n; ++q) {
+        if (model_.f(q, j) > 0.0 &&
+            std::find(node.neighbors.begin(), node.neighbors.end(), q) ==
+                node.neighbors.end())
+          node.neighbors.push_back(q);
+      }
+    }
+
+    // Local plant: rows = neighborhood, columns = owned tasks.
+    PlantModel local;
+    local.f = Matrix(node.neighbors.size(), node.owned.size());
+    local.b = Vector(node.neighbors.size());
+    local.rate_min = Vector(node.owned.size());
+    local.rate_max = Vector(node.owned.size());
+    Vector local_rates(node.owned.size());
+    for (std::size_t qi = 0; qi < node.neighbors.size(); ++qi) {
+      local.b[qi] = model_.b[node.neighbors[qi]];
+      for (std::size_t ji = 0; ji < node.owned.size(); ++ji)
+        local.f(qi, ji) = model_.f(node.neighbors[qi], node.owned[ji]);
+    }
+    for (std::size_t ji = 0; ji < node.owned.size(); ++ji) {
+      local.rate_min[ji] = model_.rate_min[node.owned[ji]];
+      local.rate_max[ji] = model_.rate_max[node.owned[ji]];
+      local_rates[ji] = rates_[node.owned[ji]];
+    }
+    node.local = std::make_unique<MpcController>(std::move(local), params,
+                                                 std::move(local_rates));
+    node_of_[p] = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+  EUCON_ASSERT(!nodes_.empty(), "no local controllers constructed");
+}
+
+Vector DecentralizedMpcController::update(const Vector& u) {
+  EUCON_REQUIRE(u.size() == model_.num_processors(),
+                "utilization vector size mismatch");
+  // Each node reads its neighborhood's utilization and commands its owned
+  // tasks. Nodes act on the same measurement epoch (as they would in a
+  // synchronized sampling period) and do not see each other's current
+  // moves — the decentralized approximation.
+  for (auto& node : nodes_) {
+    Vector u_local(node.neighbors.size());
+    for (std::size_t qi = 0; qi < node.neighbors.size(); ++qi)
+      u_local[qi] = u[node.neighbors[qi]];
+    const Vector r_local = node.local->update(u_local);
+    for (std::size_t ji = 0; ji < node.owned.size(); ++ji)
+      rates_[node.owned[ji]] = r_local[ji];
+  }
+  return rates_;
+}
+
+const std::vector<std::size_t>& DecentralizedMpcController::owned_tasks(
+    std::size_t p) const {
+  EUCON_REQUIRE(p < node_of_.size() && node_of_[p] != static_cast<std::size_t>(-1),
+                "processor owns no tasks");
+  return nodes_[node_of_[p]].owned;
+}
+
+const std::vector<std::size_t>& DecentralizedMpcController::neighborhood(
+    std::size_t p) const {
+  EUCON_REQUIRE(p < node_of_.size() && node_of_[p] != static_cast<std::size_t>(-1),
+                "processor owns no tasks");
+  return nodes_[node_of_[p]].neighbors;
+}
+
+std::size_t DecentralizedMpcController::max_local_problem_size() const {
+  std::size_t largest = 0;
+  for (const auto& node : nodes_)
+    largest = std::max(largest, node.owned.size());
+  return largest;
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,63 @@
+// Decentralized end-to-end utilization control.
+//
+// The paper's conclusion names "decentralized control architecture to
+// handle large-scale systems" as future work; its published follow-on is
+// DEUCON (Wang, Lu, Koutsoukos). This module implements that architecture
+// in the same spirit:
+//
+//   * every task is OWNED by the processor hosting its first subtask —
+//     ownership partitions the actuators, so no two controllers command
+//     the same rate;
+//   * each owning processor runs a LOCAL model predictive controller over
+//     its neighborhood: itself plus the processors that share one of its
+//     owned tasks. The local model is the corresponding sub-block of F;
+//   * rates of tasks owned elsewhere are treated as constant over the
+//     local horizon — their effect arrives through the next utilization
+//     measurement (the feedback lanes of Figure 1, now peer-to-peer).
+//
+// Compared with the centralized controller this trades optimality for
+// per-node problem size: each node solves an O(|owned| · M) problem
+// instead of O(m · M), and only neighborhood utilizations travel on the
+// wire. bench_scaling quantifies both effects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/mpc.h"
+
+namespace eucon::control {
+
+class DecentralizedMpcController final : public Controller {
+ public:
+  DecentralizedMpcController(PlantModel model, MpcParams params,
+                             linalg::Vector initial_rates);
+
+  linalg::Vector update(const linalg::Vector& u) override;
+  std::string name() const override { return "DEUCON"; }
+
+  // Introspection for tests and benches.
+  std::size_t num_local_controllers() const { return nodes_.size(); }
+  // Tasks owned by processor p (indices into the global task list).
+  const std::vector<std::size_t>& owned_tasks(std::size_t p) const;
+  // Neighborhood of processor p (global processor indices; first is p).
+  const std::vector<std::size_t>& neighborhood(std::size_t p) const;
+  // Size of the largest local optimization (decision variables).
+  std::size_t max_local_problem_size() const;
+
+ private:
+  struct Node {
+    std::size_t processor;
+    std::vector<std::size_t> owned;      // global task indices
+    std::vector<std::size_t> neighbors;  // global processor indices
+    std::unique_ptr<MpcController> local;
+  };
+
+  PlantModel model_;
+  std::vector<Node> nodes_;           // one per processor owning >= 1 task
+  std::vector<std::size_t> node_of_;  // processor -> index into nodes_ (or npos)
+  linalg::Vector rates_;
+};
+
+}  // namespace eucon::control

@@ -1,0 +1,64 @@
+#include "control/diagnostics.h"
+
+#include <sstream>
+
+#include "linalg/lu.h"
+
+namespace eucon::control {
+
+PlantDiagnostics diagnose_plant(const PlantModel& model) {
+  model.validate();
+  PlantDiagnostics d;
+  const std::size_t n = model.num_processors();
+  const std::size_t m = model.num_tasks();
+
+  d.rank = linalg::rank(model.f);
+  d.full_row_rank = d.rank == n;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    bool loaded = false;
+    for (std::size_t j = 0; j < m; ++j)
+      if (model.f(p, j) > 0.0) loaded = true;
+    if (!loaded) d.unloaded_processors.push_back(static_cast<int>(p));
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    bool effective = false;
+    for (std::size_t p = 0; p < n; ++p)
+      if (model.f(p, j) > 0.0) effective = true;
+    if (!effective) d.ineffective_tasks.push_back(static_cast<int>(j));
+  }
+
+  d.min_estimated_utilization = model.f * model.rate_min;
+  d.max_estimated_utilization = model.f * model.rate_max;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (model.b[p] < d.min_estimated_utilization[p] - 1e-12)
+      d.set_point_below_floor.push_back(static_cast<int>(p));
+    if (model.b[p] > d.max_estimated_utilization[p] + 1e-12)
+      d.set_point_above_ceiling.push_back(static_cast<int>(p));
+  }
+  return d;
+}
+
+std::string to_string(const PlantDiagnostics& d) {
+  std::ostringstream os;
+  os << "rank(F) = " << d.rank
+     << (d.full_row_rank ? " (full row rank)" : " (ROW-RANK DEFICIENT)")
+     << "\n";
+  auto list = [&](const char* label, const std::vector<int>& v,
+                  const char* index_prefix) {
+    if (v.empty()) return;
+    os << label;
+    for (int i : v) os << ' ' << index_prefix << i + 1;
+    os << "\n";
+  };
+  list("unloaded processors:", d.unloaded_processors, "P");
+  list("ineffective tasks:", d.ineffective_tasks, "T");
+  list("set point below reachable floor on:", d.set_point_below_floor, "P");
+  list("set point above reachable ceiling on:", d.set_point_above_ceiling,
+       "P");
+  if (d.structurally_feasible() && d.full_row_rank)
+    os << "OK: every set point reachable within the rate boxes\n";
+  return os.str();
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,52 @@
+// Pre-deployment plant diagnostics: structural checks a designer should
+// run before trusting any controller with a task set.
+//
+// The paper assumes (§6.2) that the optimization is feasible — "there
+// exists a set of task rates within their acceptable ranges that can make
+// the utilization on every processor equal to its set point". This module
+// verifies that assumption (at estimated execution times), plus the
+// structural preconditions behind it:
+//
+//   * every processor carries at least one subtask (a zero row of F is
+//     uncontrollable — nothing any controller does can move it);
+//   * F has full row rank (otherwise some combination of processor
+//     utilizations is invariant under every rate change, and arbitrary
+//     set-point vectors are untrackable);
+//   * each set point lies inside the envelope [F R_min, F R_max] of
+//     estimated utilizations reachable within the rate boxes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/model.h"
+
+namespace eucon::control {
+
+struct PlantDiagnostics {
+  std::size_t rank = 0;       // numerical rank of F
+  bool full_row_rank = false;  // rank == n: all processors independently steerable
+
+  std::vector<int> unloaded_processors;  // F row identically zero
+  std::vector<int> ineffective_tasks;    // F column identically zero
+
+  linalg::Vector min_estimated_utilization;  // F R_min
+  linalg::Vector max_estimated_utilization;  // F R_max
+  // Processors whose set point lies outside the reachable envelope (at
+  // the paper's nominal gain G = I):
+  std::vector<int> set_point_below_floor;  // B < F R_min: overloaded even at R_min
+  std::vector<int> set_point_above_ceiling;  // B > F R_max: cannot be filled
+
+  // True when every set point is reachable and every processor loaded.
+  bool structurally_feasible() const {
+    return unloaded_processors.empty() && set_point_below_floor.empty() &&
+           set_point_above_ceiling.empty();
+  }
+};
+
+PlantDiagnostics diagnose_plant(const PlantModel& model);
+
+// Human-readable multi-line report ("OK" when nothing is wrong).
+std::string to_string(const PlantDiagnostics& d);
+
+}  // namespace eucon::control

@@ -1,0 +1,46 @@
+#include "control/gain_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+GainEstimator::GainEstimator(std::size_t num_processors,
+                             GainEstimatorParams params)
+    : params_(params),
+      gains_(num_processors, params.initial_gain),
+      covariance_(num_processors, params.initial_covariance) {
+  EUCON_REQUIRE(num_processors > 0, "estimator needs processors");
+  EUCON_REQUIRE(params_.forgetting > 0.0 && params_.forgetting <= 1.0,
+                "forgetting factor must be in (0, 1]");
+  EUCON_REQUIRE(params_.min_gain > 0.0 && params_.max_gain > params_.min_gain,
+                "bad gain clamp range");
+  EUCON_REQUIRE(params_.initial_covariance > 0.0, "covariance must be positive");
+}
+
+const linalg::Vector& GainEstimator::update(const linalg::Vector& predicted_db,
+                                            const linalg::Vector& measured_du) {
+  EUCON_REQUIRE(predicted_db.size() == gains_.size(), "db size mismatch");
+  EUCON_REQUIRE(measured_du.size() == gains_.size(), "du size mismatch");
+  bool any = false;
+  for (std::size_t i = 0; i < gains_.size(); ++i) {
+    const double phi = predicted_db[i];  // regressor
+    if (std::abs(phi) < params_.excitation_threshold) continue;
+    any = true;
+    // Scalar RLS with forgetting: g += K (du - g phi).
+    const double p = covariance_[i];
+    const double k = p * phi / (params_.forgetting + phi * p * phi);
+    const double innovation = measured_du[i] - gains_[i] * phi;
+    gains_[i] = std::clamp(gains_[i] + k * innovation, params_.min_gain,
+                           params_.max_gain);
+    covariance_[i] = (p - k * phi * p) / params_.forgetting;
+    // Keep the covariance from collapsing so slow gain drift stays
+    // trackable (covariance resetting lite).
+    covariance_[i] = std::clamp(covariance_[i], 1e-4, 1e6);
+  }
+  if (any) ++updates_;
+  return gains_;
+}
+
+}  // namespace eucon::control

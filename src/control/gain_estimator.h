@@ -1,0 +1,50 @@
+// On-line estimation of the utilization gains G (paper eq. 4-5).
+//
+// EUCON's controller assumes G = I; §6.3 shows that when the true gains
+// exceed ~2 the loop oscillates (and beyond ~6.5 diverges). The gains are
+// observable, though: each sampling period relates the *predicted*
+// utilization change Δb_i(k-1) = (F Δr(k-1))_i to the *measured* change
+// Δu_i(k), with g_i their ratio. This estimator runs one scalar recursive
+// least squares per processor with exponential forgetting, feeding the
+// adaptive controller (AdaptiveMpcController) that scales its internal
+// model by the estimate — the self-tuning direction the EUCON line of work
+// developed after this paper.
+#pragma once
+
+#include "linalg/vector.h"
+
+namespace eucon::control {
+
+struct GainEstimatorParams {
+  double forgetting = 0.96;   // RLS forgetting factor λ in (0, 1]
+  double initial_gain = 1.0;  // the paper's G = I assumption
+  // Updates are skipped when |Δb| is below this (pure measurement noise).
+  double excitation_threshold = 1e-3;
+  double min_gain = 0.05;  // clamp range for the estimate
+  double max_gain = 20.0;
+  // Large initial covariance = fast initial learning (the regressors, rate
+  // changes mapped through F, are small numbers).
+  double initial_covariance = 200.0;
+};
+
+class GainEstimator {
+ public:
+  GainEstimator(std::size_t num_processors, GainEstimatorParams params = {});
+
+  // One step per sampling period: `predicted_db` is F Δr(k-1) (the change
+  // the controller believed it commanded), `measured_du` is
+  // u(k) - u(k-1). Returns the refreshed gain estimates.
+  const linalg::Vector& update(const linalg::Vector& predicted_db,
+                               const linalg::Vector& measured_du);
+
+  const linalg::Vector& gains() const { return gains_; }
+  std::size_t updates_applied() const { return updates_; }
+
+ private:
+  GainEstimatorParams params_;
+  linalg::Vector gains_;
+  linalg::Vector covariance_;  // per-processor scalar RLS covariance
+  std::size_t updates_ = 0;
+};
+
+}  // namespace eucon::control

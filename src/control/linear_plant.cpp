@@ -1,0 +1,33 @@
+#include "control/linear_plant.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+LinearPlant::LinearPlant(PlantModel model, linalg::Vector gains,
+                         linalg::Vector initial_rates)
+    : model_(std::move(model)),
+      gains_(std::move(gains)),
+      rates_prev_(std::move(initial_rates)),
+      u_(model_.num_processors(), 0.0) {
+  model_.validate();
+  EUCON_REQUIRE(gains_.size() == model_.num_processors(), "gain size mismatch");
+  EUCON_REQUIRE(rates_prev_.size() == model_.num_tasks(), "rate size mismatch");
+  // Start at the utilization implied by the initial rates.
+  const linalg::Vector b0 = model_.f * rates_prev_;
+  for (std::size_t i = 0; i < u_.size(); ++i)
+    u_[i] = std::clamp(gains_[i] * b0[i], 0.0, 1.0);
+}
+
+const linalg::Vector& LinearPlant::step(const linalg::Vector& rates) {
+  EUCON_REQUIRE(rates.size() == model_.num_tasks(), "rate size mismatch");
+  const linalg::Vector db = model_.f * (rates - rates_prev_);
+  for (std::size_t i = 0; i < u_.size(); ++i)
+    u_[i] = std::clamp(u_[i] + gains_[i] * db[i], 0.0, 1.0);
+  rates_prev_ = rates;
+  return u_;
+}
+
+}  // namespace eucon::control

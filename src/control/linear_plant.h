@@ -1,0 +1,37 @@
+// The paper's difference-equation plant (eq. 5-6) in isolation:
+//
+//   u(k) = u(k-1) + G F Δr(k-1)
+//
+// This is the model the stability analysis reasons about. It lets tests
+// and ablations exercise controllers against the idealized dynamics,
+// separating control behavior from scheduling/measurement effects (the
+// full event simulator covers those).
+#pragma once
+
+#include "control/model.h"
+#include "linalg/vector.h"
+
+namespace eucon::control {
+
+class LinearPlant {
+ public:
+  // `gains` are the true utilization gains G (one per processor);
+  // `initial_rates` seed the rate memory used to form Δr.
+  LinearPlant(PlantModel model, linalg::Vector gains,
+              linalg::Vector initial_rates);
+
+  // Applies the rate vector r(k) and returns the resulting utilization
+  // u(k+1) (saturated to [0, 1] like a real processor).
+  const linalg::Vector& step(const linalg::Vector& rates);
+
+  const linalg::Vector& utilization() const { return u_; }
+  void set_utilization(const linalg::Vector& u) { u_ = u; }
+
+ private:
+  PlantModel model_;
+  linalg::Vector gains_;
+  linalg::Vector rates_prev_;
+  linalg::Vector u_;
+};
+
+}  // namespace eucon::control

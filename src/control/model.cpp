@@ -1,0 +1,37 @@
+#include "control/model.h"
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+void PlantModel::validate() const {
+  const std::size_t n = f.rows();
+  const std::size_t m = f.cols();
+  EUCON_REQUIRE(n > 0 && m > 0, "plant model needs processors and tasks");
+  EUCON_REQUIRE(b.size() == n, "set-point vector size mismatch");
+  EUCON_REQUIRE(rate_min.size() == m && rate_max.size() == m,
+                "rate bound size mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    EUCON_REQUIRE(b[i] > 0.0 && b[i] <= 1.0, "set points must be in (0, 1]");
+  for (std::size_t j = 0; j < m; ++j) {
+    EUCON_REQUIRE(rate_min[j] > 0.0, "rate_min must be positive");
+    EUCON_REQUIRE(rate_max[j] >= rate_min[j], "rate_max < rate_min");
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      EUCON_REQUIRE(f(i, j) >= 0.0, "allocation matrix must be non-negative");
+}
+
+PlantModel make_plant_model(const rts::SystemSpec& spec,
+                            const linalg::Vector& set_points) {
+  spec.validate();
+  PlantModel model;
+  model.f = spec.allocation_matrix();
+  model.b = set_points.empty() ? spec.liu_layland_set_points() : set_points;
+  model.rate_min = spec.rate_min_vector();
+  model.rate_max = spec.rate_max_vector();
+  model.validate();
+  return model;
+}
+
+}  // namespace eucon::control

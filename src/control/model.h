@@ -1,0 +1,31 @@
+// The dynamic model of end-to-end tasks (paper §5) as seen by controllers.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "rts/spec.h"
+
+namespace eucon::control {
+
+// Everything a utilization controller needs to know about the plant:
+// the subtask allocation matrix F (eq. 6), the utilization set points B,
+// and the rate actuator limits (constraint 2).
+struct PlantModel {
+  linalg::Matrix f;       // n×m
+  linalg::Vector b;       // n set points
+  linalg::Vector rate_min;  // m
+  linalg::Vector rate_max;  // m
+
+  std::size_t num_processors() const { return f.rows(); }
+  std::size_t num_tasks() const { return f.cols(); }
+
+  void validate() const;
+};
+
+// Builds the model from a task-set spec. When `set_points` is empty the
+// Liu–Layland RMS bounds (paper eq. 13) are used — the paper's choice for
+// guaranteeing end-to-end deadlines through subdeadline enforcement.
+PlantModel make_plant_model(const rts::SystemSpec& spec,
+                            const linalg::Vector& set_points = {});
+
+}  // namespace eucon::control

@@ -1,0 +1,258 @@
+#include "control/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void MpcParams::validate(std::size_t n, std::size_t m) const {
+  EUCON_REQUIRE(prediction_horizon >= 1, "prediction horizon must be >= 1");
+  EUCON_REQUIRE(control_horizon >= 1 && control_horizon <= prediction_horizon,
+                "control horizon must be in [1, P]");
+  EUCON_REQUIRE(tref_over_ts > 0.0, "Tref/Ts must be positive");
+  EUCON_REQUIRE(q.empty() || q.size() == n, "Q weight size mismatch");
+  EUCON_REQUIRE(r.empty() || r.size() == m, "R weight size mismatch");
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EUCON_REQUIRE(q[i] >= 0.0, "Q weights must be non-negative");
+  for (std::size_t i = 0; i < r.size(); ++i)
+    EUCON_REQUIRE(r[i] > 0.0, "R weights must be positive");
+}
+
+namespace {
+
+Vector weights_or_ones(const Vector& w, std::size_t size) {
+  return w.empty() ? Vector(size, 1.0) : w;
+}
+
+// S_i: the m×(mM) selector summing the first min(i, M) input blocks, i.e.
+// r(k+i|k) - r(k-1) = S_i x for steps within the horizon.
+Matrix selector(std::size_t m, int control_horizon, int i) {
+  const int blocks = std::min(i, control_horizon);
+  Matrix s(m, m * static_cast<std::size_t>(control_horizon));
+  for (int blk = 0; blk < blocks; ++blk)
+    for (std::size_t r = 0; r < m; ++r)
+      s(r, static_cast<std::size_t>(blk) * m + r) = 1.0;
+  return s;
+}
+
+}  // namespace
+
+MpcMatrices build_mpc_matrices(const PlantModel& model, const MpcParams& params) {
+  model.validate();
+  const std::size_t n = model.num_processors();
+  const std::size_t m = model.num_tasks();
+  params.validate(n, m);
+
+  const int p = params.prediction_horizon;
+  const int mh = params.control_horizon;
+  const Vector q = weights_or_ones(params.q, n);
+  const Vector r = weights_or_ones(params.r, m);
+
+  const std::size_t rows = n * static_cast<std::size_t>(p) +
+                           m * static_cast<std::size_t>(mh);
+  const std::size_t cols = m * static_cast<std::size_t>(mh);
+
+  MpcMatrices mats;
+  mats.c = Matrix(rows, cols);
+  mats.du = Matrix(rows, n);
+  mats.dr = Matrix(rows, m);
+
+  // Tracking blocks: sqrt(Q) (F S_i x - (ref_i - u(k))) for i = 1..P, with
+  // ref_i - u(k) = (1 - e^{-i/(Tref/Ts)}) (B - u(k))   (eq. 8).
+  std::size_t row0 = 0;
+  for (int i = 1; i <= p; ++i, row0 += n) {
+    const Matrix fsi = model.f * selector(m, mh, i);
+    const double shape = 1.0 - std::exp(-static_cast<double>(i) / params.tref_over_ts);
+    for (std::size_t rr = 0; rr < n; ++rr) {
+      const double sq = std::sqrt(q[rr]);
+      for (std::size_t cc = 0; cc < cols; ++cc)
+        mats.c(row0 + rr, cc) = sq * fsi(rr, cc);
+      mats.du(row0 + rr, rr) = sq * shape;
+    }
+  }
+
+  // Control-penalty blocks for i = 0..M-1. kDeltaRate penalizes
+  // sqrt(R) Δr(k+i|k); kDeltaDeltaRate penalizes the successive difference
+  // sqrt(R) (Δr(k+i|k) - Δr(k+i-1|k)), where for i = 0 the subtrahend is
+  // the previously applied Δr(k-1), carried on the d side.
+  for (int i = 0; i < mh; ++i, row0 += m) {
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      const double sr = std::sqrt(r[rr]);
+      mats.c(row0 + rr, static_cast<std::size_t>(i) * m + rr) = sr;
+      if (params.penalty_form == PenaltyForm::kDeltaDeltaRate) {
+        if (i > 0)
+          mats.c(row0 + rr, static_cast<std::size_t>(i - 1) * m + rr) = -sr;
+        else
+          mats.dr(row0 + rr, rr) = sr;
+      }
+    }
+  }
+  EUCON_ASSERT(row0 == rows, "MPC matrix assembly row mismatch");
+  return mats;
+}
+
+MpcController::MpcController(PlantModel model, MpcParams params,
+                             Vector initial_rates)
+    : model_(std::move(model)),
+      active_model_(model_),
+      params_(std::move(params)),
+      mats_(build_mpc_matrices(active_model_, params_)),
+      enabled_(model_.num_tasks(), true),
+      gain_estimate_(model_.num_processors(), 1.0),
+      rates_(std::move(initial_rates)),
+      dr_prev_(model_.num_tasks(), 0.0) {
+  EUCON_REQUIRE(rates_.size() == model_.num_tasks(),
+                "initial rate vector size mismatch");
+  rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
+}
+
+void MpcController::set_set_points(const Vector& b) {
+  EUCON_REQUIRE(b.size() == model_.num_processors(), "set-point size mismatch");
+  model_.b = b;
+  model_.validate();
+  active_model_.b = b;
+}
+
+void MpcController::rebuild_active_model() {
+  active_model_.f = model_.f;
+  for (std::size_t i = 0; i < active_model_.f.rows(); ++i)
+    for (std::size_t j = 0; j < active_model_.f.cols(); ++j)
+      active_model_.f(i, j) =
+          enabled_[j] ? gain_estimate_[i] * model_.f(i, j) : 0.0;
+  mats_ = build_mpc_matrices(active_model_, params_);
+}
+
+void MpcController::set_enabled_tasks(const std::vector<bool>& enabled) {
+  EUCON_REQUIRE(enabled.size() == model_.num_tasks(),
+                "enabled-task mask size mismatch");
+  EUCON_REQUIRE(std::find(enabled.begin(), enabled.end(), true) != enabled.end(),
+                "at least one task must stay enabled");
+  enabled_ = enabled;
+  for (std::size_t j = 0; j < enabled_.size(); ++j)
+    if (!enabled_[j]) dr_prev_[j] = 0.0;
+  rebuild_active_model();
+}
+
+void MpcController::set_allocation_matrix(const linalg::Matrix& f) {
+  EUCON_REQUIRE(f.rows() == model_.num_processors() &&
+                    f.cols() == model_.num_tasks(),
+                "allocation matrix size mismatch");
+  model_.f = f;
+  model_.validate();
+  rebuild_active_model();
+}
+
+void MpcController::set_gain_estimate(const linalg::Vector& gains) {
+  EUCON_REQUIRE(gains.size() == model_.num_processors(),
+                "gain estimate size mismatch");
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    EUCON_REQUIRE(gains[i] > 0.0, "gain estimates must be positive");
+  gain_estimate_ = gains;
+  rebuild_active_model();
+}
+
+Vector MpcController::assemble_d(const Vector& u) const {
+  return mats_.du * (active_model_.b - u) + mats_.dr * dr_prev_;
+}
+
+void MpcController::build_constraints(const Vector& u, bool with_util_rows,
+                                      Matrix& a, Vector& b) const {
+  const std::size_t n = active_model_.num_processors();
+  const std::size_t m = active_model_.num_tasks();
+  const int mh = params_.control_horizon;
+  const std::size_t cols = m * static_cast<std::size_t>(mh);
+
+  // Distinct utilization constraints exist only for i = 1..M: beyond the
+  // control horizon the predicted utilization is constant (S_i = S_M).
+  const std::size_t util_rows = with_util_rows ? n * static_cast<std::size_t>(mh) : 0;
+  const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
+  a = Matrix(util_rows + rate_rows, cols);
+  b = Vector(util_rows + rate_rows);
+
+  std::size_t row0 = 0;
+  if (with_util_rows) {
+    for (int i = 1; i <= mh; ++i, row0 += n) {
+      const Matrix fsi = active_model_.f * selector(m, mh, i);
+      a.set_block(row0, 0, fsi);
+      for (std::size_t rr = 0; rr < n; ++rr) b[row0 + rr] = active_model_.b[rr] - u[rr];
+    }
+  }
+  for (int i = 1; i <= mh; ++i, row0 += 2 * m) {
+    const Matrix si = selector(m, mh, i);
+    // r(k+i-1|k) <= R_max  and  -r(k+i-1|k) <= -R_min.
+    a.set_block(row0, 0, si);
+    a.set_block(row0 + m, 0, -1.0 * si);
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      b[row0 + rr] = active_model_.rate_max[rr] - rates_[rr];
+      b[row0 + m + rr] = rates_[rr] - active_model_.rate_min[rr];
+    }
+  }
+}
+
+Vector MpcController::update(const Vector& u) {
+  EUCON_REQUIRE(u.size() == active_model_.num_processors(),
+                "utilization vector size mismatch");
+  ++update_count_;
+  const std::size_t m = active_model_.num_tasks();
+  const std::size_t cols = m * static_cast<std::size_t>(params_.control_horizon);
+
+  const bool want_util_rows =
+      params_.constraint_mode == ConstraintMode::kHardWithFallback;
+
+  qp::LsqlinProblem prob;
+  prob.c = mats_.c;
+  prob.d = assemble_d(u);
+
+  // Feasible starting points (F >= 0 elementwise, so pushing every rate to
+  // R_min minimizes every predicted utilization):
+  //   x = 0                      feasible when u(k) <= B already;
+  //   x = [R_min - r(k-1); 0; …] feasible whenever the problem is feasible.
+  const double tol = 1e-9;
+  Vector x_zero(cols, 0.0);
+  Vector x_drop(cols, 0.0);
+  for (std::size_t j = 0; j < m; ++j) x_drop[j] = active_model_.rate_min[j] - rates_[j];
+
+  bool util_rows = want_util_rows;
+  const Vector* x0 = nullptr;
+  if (util_rows) {
+    bool zero_ok = true, drop_ok = true;
+    for (std::size_t i = 0; i < active_model_.num_processors(); ++i) {
+      if (u[i] > active_model_.b[i] + tol) zero_ok = false;
+      double u_drop = u[i];
+      for (std::size_t j = 0; j < m; ++j) u_drop += active_model_.f(i, j) * x_drop[j];
+      if (u_drop > active_model_.b[i] + tol) drop_ok = false;
+    }
+    if (zero_ok) {
+      x0 = &x_zero;
+    } else if (drop_ok) {
+      x0 = &x_drop;
+    } else {
+      // No rate vector can satisfy u <= B (paper §6.2: infeasible instance;
+      // rate adaptation alone cannot reach the set points). Best effort:
+      // drop the utilization rows and let the tracking term minimize the
+      // overshoot.
+      util_rows = false;
+      ++fallback_count_;
+    }
+  }
+  if (!util_rows) x0 = &x_zero;
+
+  build_constraints(u, util_rows, prob.a, prob.b);
+  const qp::LsqlinResult res = qp::lsqlin(prob, x0, params_.solver);
+  last_status_ = res.status;
+
+  // Receding horizon: apply only Δr(k|k). Suspended tasks stay frozen.
+  Vector dr(m);
+  for (std::size_t j = 0; j < m; ++j) dr[j] = enabled_[j] ? res.x[j] : 0.0;
+  const Vector new_rates = (rates_ + dr).clamped(active_model_.rate_min, active_model_.rate_max);
+  dr_prev_ = new_rates - rates_;
+  rates_ = new_rates;
+  return rates_;
+}
+
+}  // namespace eucon::control

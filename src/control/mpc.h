@@ -1,0 +1,137 @@
+// The EUCON model predictive controller (paper §6).
+//
+// Each sampling period the controller minimizes the cost (eq. 7)
+//
+//   V(k) =  Σ_{i=1..P} ||u(k+i|k) - ref(k+i|k)||²_Q
+//         + Σ_{i=0..M-1} ||Δr(k+i|k) - Δr(k+i-1|k)||²_R
+//
+// over the input trajectory x = [Δr(k|k); …; Δr(k+M-1|k)], subject to the
+// utilization constraints u(k+i|k) <= B and the rate limits
+// R_min <= r(k+i|k) <= R_max, using the approximate model (eq. 6, 9)
+// u(k+i|k) = u(k) + F Σ_{j<=min(i,M)-1} Δr(k+j|k) and the exponential
+// reference trajectory (eq. 8). Only Δr(k|k) is applied (receding horizon).
+//
+// The optimization is a constrained least-squares problem solved with the
+// in-repo active-set lsqlin (the paper used MATLAB's).
+#pragma once
+
+#include <cstdint>
+
+#include "control/controller.h"
+#include "control/model.h"
+#include "qp/lsqlin.h"
+
+namespace eucon::control {
+
+// The control-penalty term of the cost function. The paper's eq. (7)
+// literally reads ||Δr(k+i|k) - Δr(k+i-1|k)||², but that form leaves the
+// closed loop *marginally* stable in the null space of F (rates can ramp
+// forever in directions that change no utilization) and contradicts the
+// paper's own first-order closed-loop model u(k) = A u(k-1) + C (§6.2).
+// The form consistent with that analysis — and with the published EUCON
+// follow-ons (DEUCON, FC-ORB) — penalizes the rate change itself,
+// ||Δr(k+i|k)||², which is the default here. The literal reading remains
+// available for the ablation bench.
+enum class PenaltyForm {
+  kDeltaRate,       // ||Δr(k+i|k)||²   (default; matches §6.2's analysis)
+  kDeltaDeltaRate,  // ||Δr(k+i|k) - Δr(k+i-1|k)||²  (eq. 7 verbatim)
+};
+
+enum class ConstraintMode {
+  // Enforce u(k+i|k) <= B; when no feasible rate vector exists (e.g. severe
+  // overload against R_min), retry without the utilization rows so the
+  // tracking objective still pulls utilization down (best effort).
+  kHardWithFallback,
+  // Never add the utilization rows; rely on tracking alone. (Ablation.)
+  kSoftOnly,
+};
+
+struct MpcParams {
+  int prediction_horizon = 2;  // P
+  int control_horizon = 1;     // M (<= P)
+  double tref_over_ts = 4.0;   // reference-trajectory time constant (eq. 8)
+  linalg::Vector q;            // per-processor tracking weights (empty = 1)
+  linalg::Vector r;            // per-task control-penalty weights (empty = 1)
+  PenaltyForm penalty_form = PenaltyForm::kDeltaRate;
+  ConstraintMode constraint_mode = ConstraintMode::kHardWithFallback;
+  qp::Options solver;
+
+  void validate(std::size_t n, std::size_t m) const;
+};
+
+// The constant matrices of the quadratic program. d(k) is assembled per
+// period as  d = du (B - u(k)) + dr Δr(k-1).
+struct MpcMatrices {
+  linalg::Matrix c;   // (nP + mM) × mM stacked least-squares matrix
+  linalg::Matrix du;  // (nP + mM) × n
+  linalg::Matrix dr;  // (nP + mM) × m
+};
+
+MpcMatrices build_mpc_matrices(const PlantModel& model, const MpcParams& params);
+
+class MpcController final : public Controller {
+ public:
+  MpcController(PlantModel model, MpcParams params,
+                linalg::Vector initial_rates);
+
+  linalg::Vector update(const linalg::Vector& u) override;
+  std::string name() const override { return "EUCON"; }
+
+  const PlantModel& model() const { return model_; }
+  const MpcParams& params() const { return params_; }
+  linalg::Vector current_rates() const { return rates_; }
+
+  // Allows online set-point changes (overload-protection use case, §3.3).
+  void set_set_points(const linalg::Vector& b);
+
+  // Marks tasks as suspended (admission control, §6.2): a suspended task's
+  // allocation column is zeroed in the prediction model and its rate is
+  // frozen, so the optimizer neither relies on it nor drifts it. Pass one
+  // flag per task; all-true restores normal operation.
+  void set_enabled_tasks(const std::vector<bool>& enabled);
+  const std::vector<bool>& enabled_tasks() const { return enabled_; }
+
+  // Replaces the allocation matrix after a task reallocation (§6.2): the
+  // prediction model follows the new placement; rates and set points are
+  // untouched.
+  void set_allocation_matrix(const linalg::Matrix& f);
+
+  // Installs utilization-gain estimates ĝ (one per processor): the
+  // prediction model becomes u(k+1) = u(k) + diag(ĝ) F Δr(k), replacing
+  // the paper's G = I assumption. Used by AdaptiveMpcController.
+  void set_gain_estimate(const linalg::Vector& gains);
+  const linalg::Vector& gain_estimate() const { return gain_estimate_; }
+
+  // Δr(k-1) as actually applied — exposed so adaptive wrappers can form
+  // the predicted utilization change F Δr(k-1) for gain estimation.
+  const linalg::Vector& last_applied_delta() const { return dr_prev_; }
+
+  // Diagnostics.
+  qp::Status last_status() const { return last_status_; }
+  std::uint64_t fallback_count() const { return fallback_count_; }
+  std::uint64_t update_count() const { return update_count_; }
+
+ private:
+  // Builds the inequality system; `with_util_rows` controls whether the
+  // u(k+i|k) <= B rows are included.
+  void build_constraints(const linalg::Vector& u, bool with_util_rows,
+                         linalg::Matrix& a, linalg::Vector& b) const;
+  linalg::Vector assemble_d(const linalg::Vector& u) const;
+  // Recomputes active_model_.f = diag(gain) * (mask-filtered F) and the
+  // MPC matrices.
+  void rebuild_active_model();
+
+  PlantModel model_;       // as configured
+  PlantModel active_model_;  // with suspended tasks' columns zeroed
+  MpcParams params_;
+  MpcMatrices mats_;
+  std::vector<bool> enabled_;
+  linalg::Vector gain_estimate_;  // per-processor; all-ones = paper's G = I
+  linalg::Vector rates_;    // r(k-1), the currently applied rates
+  linalg::Vector dr_prev_;  // Δr(k-1) actually applied
+  qp::Status last_status_ = qp::Status::kOptimal;
+  std::uint64_t fallback_count_ = 0;
+  std::uint64_t update_count_ = 0;
+};
+
+}  // namespace eucon::control

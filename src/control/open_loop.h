@@ -1,0 +1,36 @@
+// OPEN: the open-loop baseline of the paper's evaluation (§7.1).
+//
+// A designer assigns fixed task rates from the *estimated* execution times
+// so that B = F r'. The rates never react to measured utilization, so any
+// estimation error (etf ≠ 1) translates directly into under- or
+// over-utilization — the failure mode EUCON is built to remove.
+#pragma once
+
+#include "control/controller.h"
+#include "control/model.h"
+
+namespace eucon::control {
+
+class OpenLoopController final : public Controller {
+ public:
+  // Solves min ||F r - B||² within the rate box once, at design time.
+  // `preferred_rates` breaks ties among the (usually many) exact solutions
+  // by staying close to the given profile; the task set's initial rates are
+  // the natural choice.
+  OpenLoopController(const PlantModel& model, linalg::Vector preferred_rates);
+
+  linalg::Vector update(const linalg::Vector& u) override;
+  std::string name() const override { return "OPEN"; }
+
+  linalg::Vector rates() const { return rates_; }
+
+  // The utilization OPEN is expected to produce at execution-time factor
+  // `etf` (before saturating at 1): etf · F r'. Used by the Figure-5 bench.
+  linalg::Vector expected_utilization(double etf) const;
+
+ private:
+  PlantModel model_;
+  linalg::Vector rates_;
+};
+
+}  // namespace eucon::control

@@ -1,0 +1,53 @@
+#include "control/pid.h"
+
+#include "common/check.h"
+#include "linalg/lu.h"
+
+namespace eucon::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+PidController::PidController(PlantModel model, PidParams params,
+                             Vector initial_rates)
+    : model_(std::move(model)),
+      params_(params),
+      ft_(model_.f.transposed()),
+      ff_t_(model_.f * ft_),
+      rates_(std::move(initial_rates)) {
+  model_.validate();
+  EUCON_REQUIRE(rates_.size() == model_.num_tasks(),
+                "initial rate vector size mismatch");
+  rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
+  // Regularize F F^T slightly so processors hosting no subtask (all-zero
+  // rows of F) do not make the distribution step singular.
+  for (std::size_t i = 0; i < ff_t_.rows(); ++i) ff_t_(i, i) += 1e-9;
+}
+
+Vector PidController::update(const Vector& u) {
+  EUCON_REQUIRE(u.size() == model_.num_processors(),
+                "utilization vector size mismatch");
+  const Vector e = model_.b - u;
+
+  // Incremental (velocity-form) PID: the *change* in the requested
+  // utilization delta per processor.
+  Vector db = params_.ki * e;
+  if (have_prev_) db += params_.kp * (e - e_prev_);
+  if (params_.kd != 0.0 && have_prev2_)
+    db += params_.kd * (e - 2.0 * e_prev_ + e_prev2_);
+
+  // Minimum-norm Δr with F Δr = Δb:  Δr = F^T (F F^T)^{-1} Δb.
+  const Vector y = linalg::solve(ff_t_, db);
+  const Vector dr = ft_ * y;
+
+  rates_ = (rates_ + dr).clamped(model_.rate_min, model_.rate_max);
+  if (have_prev_) {
+    e_prev2_ = e_prev_;
+    have_prev2_ = true;
+  }
+  e_prev_ = e;
+  have_prev_ = true;
+  return rates_;
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,43 @@
+// A PID baseline for the paper's §6.1 claim that single-loop PID control
+// "cannot be easily extended to end-to-end utilization control".
+//
+// Each processor runs an incremental PID on its own utilization error and
+// requests a utilization change Δb_i; the per-task rate changes are then
+// obtained through the minimum-norm solution of F Δr = Δb (the best static
+// decoupling available). Unlike EUCON this ignores the constraints and does
+// no prediction, so with strong coupling or active rate limits it degrades
+// — which is exactly what the ablation bench demonstrates.
+#pragma once
+
+#include "control/controller.h"
+#include "control/model.h"
+#include "linalg/matrix.h"
+
+namespace eucon::control {
+
+struct PidParams {
+  double kp = 0.3;
+  double ki = 0.2;
+  double kd = 0.0;
+};
+
+class PidController final : public Controller {
+ public:
+  PidController(PlantModel model, PidParams params, linalg::Vector initial_rates);
+
+  linalg::Vector update(const linalg::Vector& u) override;
+  std::string name() const override { return "PID"; }
+
+ private:
+  PlantModel model_;
+  PidParams params_;
+  linalg::Matrix ft_;      // F^T
+  linalg::Matrix ff_t_;    // F F^T (for the min-norm distribution)
+  linalg::Vector rates_;
+  linalg::Vector e_prev_;
+  linalg::Vector e_prev2_;
+  bool have_prev_ = false;
+  bool have_prev2_ = false;
+};
+
+}  // namespace eucon::control

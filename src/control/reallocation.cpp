@@ -1,0 +1,120 @@
+#include "control/reallocation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+using linalg::Vector;
+
+ReallocationPlanner::ReallocationPlanner(rts::SystemSpec spec,
+                                         Vector set_points,
+                                         ReallocationParams params)
+    : spec_(std::move(spec)),
+      set_points_(std::move(set_points)),
+      params_(params) {
+  spec_.validate();
+  EUCON_REQUIRE(set_points_.size() ==
+                    static_cast<std::size_t>(spec_.num_processors),
+                "set-point size mismatch");
+  EUCON_REQUIRE(params_.patience >= 1, "patience must be >= 1");
+  EUCON_REQUIRE(params_.cooldown >= 0, "cooldown must be >= 0");
+  periods_since_move_ = params_.cooldown;
+}
+
+std::optional<Move> ReallocationPlanner::update(const Vector& u,
+                                                const Vector& rates) {
+  EUCON_REQUIRE(u.size() == static_cast<std::size_t>(spec_.num_processors),
+                "utilization size mismatch");
+  EUCON_REQUIRE(rates.size() == spec_.num_tasks(), "rate size mismatch");
+  ++periods_since_move_;
+
+  // Estimated utilization per processor at current rates (the designer's
+  // view); the ratio u_p / est_p approximates the local gain, used to
+  // convert a subtask's estimated share into an expected actual share.
+  std::vector<double> est(static_cast<std::size_t>(spec_.num_processors), 0.0);
+  for (std::size_t t = 0; t < spec_.num_tasks(); ++t)
+    for (const auto& sub : spec_.tasks[t].subtasks)
+      est[static_cast<std::size_t>(sub.processor)] +=
+          sub.estimated_exec * rates[t];
+
+  // Find a processor stuck overloaded with all contributing rates at R_min.
+  int stuck = -1;
+  for (std::size_t p = 0; p < est.size(); ++p) {
+    if (u[p] <= set_points_[p] + params_.overload_tol) continue;
+    bool all_saturated = true, any = false;
+    for (std::size_t t = 0; t < spec_.num_tasks(); ++t) {
+      bool on_p = false;
+      for (const auto& sub : spec_.tasks[t].subtasks)
+        if (static_cast<std::size_t>(sub.processor) == p) on_p = true;
+      if (!on_p) continue;
+      any = true;
+      if (rates[t] > spec_.tasks[t].rate_min * (1.0 + 1e-6))
+        all_saturated = false;
+    }
+    if (any && all_saturated) {
+      stuck = static_cast<int>(p);
+      break;
+    }
+  }
+
+  if (stuck < 0) {
+    saturated_streak_ = 0;
+    return std::nullopt;
+  }
+  ++saturated_streak_;
+  if (saturated_streak_ < params_.patience ||
+      periods_since_move_ < params_.cooldown)
+    return std::nullopt;
+
+  // Candidate moves: any subtask on the stuck processor, to any processor
+  // that stays *feasible* after the move. Measured headroom is the wrong
+  // test — the controller deliberately fills every destination to its set
+  // point with elastic (rate-compressible) load. Feasibility compares the
+  // destination's incompressible floor (everything at R_min) plus the
+  // incoming subtask's floor against the set point, converting estimated
+  // loads to expected actual ones with the destination's apparent gain.
+  const auto sp = static_cast<std::size_t>(stuck);
+  const double gain_src = est[sp] > 1e-9 ? u[sp] / est[sp] : 1.0;
+  std::vector<double> floor_est(est.size(), 0.0);
+  for (std::size_t t = 0; t < spec_.num_tasks(); ++t)
+    for (const auto& sub : spec_.tasks[t].subtasks)
+      floor_est[static_cast<std::size_t>(sub.processor)] +=
+          sub.estimated_exec * spec_.tasks[t].rate_min;
+
+  std::optional<Move> best;
+  double best_share = 0.0;
+  for (std::size_t t = 0; t < spec_.num_tasks(); ++t) {
+    const auto& subtasks = spec_.tasks[t].subtasks;
+    for (std::size_t j = 0; j < subtasks.size(); ++j) {
+      if (subtasks[j].processor != stuck) continue;
+      const double share = subtasks[j].estimated_exec * rates[t] * gain_src;
+      const double share_floor =
+          subtasks[j].estimated_exec * spec_.tasks[t].rate_min;
+      for (int q = 0; q < spec_.num_processors; ++q) {
+        if (q == stuck) continue;
+        const auto qp = static_cast<std::size_t>(q);
+        const double gain_dst = est[qp] > 1e-9 ? u[qp] / est[qp] : gain_src;
+        const double floor_after =
+            (floor_est[qp] + share_floor) * std::max(gain_dst, gain_src);
+        if (floor_after > set_points_[qp] - params_.headroom_margin) continue;
+        if (share > best_share) {
+          best_share = share;
+          best = Move{static_cast<int>(t), static_cast<int>(j), stuck, q};
+        }
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+
+  spec_.tasks[static_cast<std::size_t>(best->task)]
+      .subtasks[static_cast<std::size_t>(best->subtask)]
+      .processor = best->to;
+  ++moves_;
+  saturated_streak_ = 0;
+  periods_since_move_ = 0;
+  return best;
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,66 @@
+// Task reallocation: the third adaptation mechanism of §6.2.
+//
+// When a processor stays above its set point with every contributing rate
+// already at R_min, rate adaptation has nothing left. Instead of shedding
+// load (admission control), the planner *moves* one subtask to a processor
+// with headroom: cheaper for the application (nothing stops running) at
+// the cost of a migration.
+//
+// The planner is pure decision logic: it observes (u, rates), tracks the
+// evolving placement, and emits at most one Move per cooldown window. The
+// caller applies the move to the simulator (Simulator::migrate_subtask)
+// and to the controller (MpcController::set_allocation_matrix) — the
+// experiment runner does both when reallocation is enabled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "linalg/vector.h"
+#include "rts/spec.h"
+
+namespace eucon::control {
+
+struct ReallocationParams {
+  int patience = 5;          // saturated-overload periods before a move
+  int cooldown = 15;         // min periods between moves
+  double overload_tol = 0.02;
+  // A move must leave the destination at u + estimated_share <= B - margin.
+  double headroom_margin = 0.05;
+};
+
+struct Move {
+  int task = -1;
+  int subtask = -1;
+  int from = -1;
+  int to = -1;
+};
+
+class ReallocationPlanner {
+ public:
+  // `set_points` are the (fixed, user-chosen) utilization bounds — note
+  // that migrating subtasks would change the Liu–Layland counts, so a
+  // deployment using reallocation supplies explicit set points.
+  ReallocationPlanner(rts::SystemSpec spec, linalg::Vector set_points,
+                      ReallocationParams params = {});
+
+  // One step per sampling period. Returns a move when one should be
+  // executed now (the planner already updated its own placement copy).
+  std::optional<Move> update(const linalg::Vector& u,
+                             const linalg::Vector& rates);
+
+  // The placement after all executed moves.
+  const rts::SystemSpec& spec() const { return spec_; }
+  linalg::Matrix allocation_matrix() const { return spec_.allocation_matrix(); }
+  std::uint64_t moves_executed() const { return moves_; }
+
+ private:
+  rts::SystemSpec spec_;
+  linalg::Vector set_points_;
+  ReallocationParams params_;
+  int saturated_streak_ = 0;
+  int periods_since_move_ = 0;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace eucon::control

@@ -1,0 +1,55 @@
+// Stability analysis of the closed loop (paper §6.2).
+//
+// With the constraints inactive, minimizing the MPC cost is linear least
+// squares, so the control law is linear:
+//
+//   Δr(k) = K1 (B - u(k)) + K2 Δr(k-1).
+//
+// Substituting into the *true* plant u(k+1) = u(k) + G F Δr(k) and stacking
+// z(k) = [u(k); Δr(k-1)] gives z(k+1) = A(G) z(k) + c with
+//
+//   A(G) = [ I - G F K1   G F K2 ]
+//          [    -K1          K2  ].
+//
+// The closed loop is stable iff every eigenvalue of A(G) lies strictly
+// inside the unit circle. For SIMPLE with the paper's controller settings
+// this reproduces the published critical uniform gain of ≈ 5.95.
+#pragma once
+
+#include "control/model.h"
+#include "control/mpc.h"
+#include "linalg/matrix.h"
+
+namespace eucon::control {
+
+class StabilityAnalyzer {
+ public:
+  StabilityAnalyzer(PlantModel model, MpcParams params);
+
+  // The unconstrained-MPC feedback gains.
+  const linalg::Matrix& k1() const { return k1_; }  // m×n
+  const linalg::Matrix& k2() const { return k2_; }  // m×m
+
+  // Closed-loop matrix for per-processor utilization gains G = diag(gains).
+  linalg::Matrix closed_loop_matrix(const linalg::Vector& gains) const;
+
+  double spectral_radius(const linalg::Vector& gains) const;
+  double spectral_radius_uniform(double gain) const;
+  bool is_stable(const linalg::Vector& gains) const;
+  bool is_stable_uniform(double gain) const;
+
+  // Largest g* (within [0, g_max]) such that the loop is stable for the
+  // uniform gain g ∈ (0, g*): coarse upward scan to bracket the loss of
+  // stability, then bisection to `tol`. Returns g_max when no instability
+  // is found in range.
+  double critical_uniform_gain(double g_max = 20.0, double coarse_step = 0.25,
+                               double tol = 1e-3) const;
+
+ private:
+  PlantModel model_;
+  MpcParams params_;
+  linalg::Matrix k1_;
+  linalg::Matrix k2_;
+};
+
+}  // namespace eucon::control

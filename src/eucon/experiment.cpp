@@ -1,0 +1,172 @@
+#include "eucon/experiment.h"
+
+#include "common/check.h"
+#include "control/adaptive.h"
+#include "control/decentralized.h"
+#include "control/open_loop.h"
+#include "eucon/feedback_lane.h"
+
+namespace eucon {
+
+const char* controller_kind_name(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kEucon:
+      return "EUCON";
+    case ControllerKind::kOpen:
+      return "OPEN";
+    case ControllerKind::kPid:
+      return "PID";
+    case ControllerKind::kDecentralized:
+      return "DEUCON";
+    case ControllerKind::kAdaptive:
+      return "EUCON-A";
+    case ControllerKind::kUncoordinated:
+      return "FCS-IND";
+  }
+  return "?";
+}
+
+std::unique_ptr<control::Controller> make_controller(
+    const ExperimentConfig& config) {
+  const control::PlantModel model =
+      control::make_plant_model(config.spec, config.set_points);
+  const linalg::Vector r0 = config.spec.initial_rate_vector();
+  switch (config.controller) {
+    case ControllerKind::kEucon:
+      return std::make_unique<control::MpcController>(model, config.mpc, r0);
+    case ControllerKind::kOpen:
+      return std::make_unique<control::OpenLoopController>(model, r0);
+    case ControllerKind::kPid:
+      return std::make_unique<control::PidController>(model, config.pid, r0);
+    case ControllerKind::kDecentralized:
+      return std::make_unique<control::DecentralizedMpcController>(
+          model, config.mpc, r0);
+    case ControllerKind::kAdaptive:
+      return std::make_unique<control::AdaptiveMpcController>(model,
+                                                              config.mpc, r0);
+    case ControllerKind::kUncoordinated:
+      return std::make_unique<control::UncoordinatedFcsController>(
+          model, config.fcs, r0);
+  }
+  throw std::invalid_argument("unknown controller kind");
+}
+
+std::vector<double> ExperimentResult::utilization_series(
+    std::size_t processor) const {
+  std::vector<double> s;
+  s.reserve(trace.size());
+  for (const auto& rec : trace) s.push_back(rec.u.at(processor));
+  return s;
+}
+
+std::vector<double> ExperimentResult::rate_series(std::size_t task) const {
+  std::vector<double> s;
+  s.reserve(trace.size());
+  for (const auto& rec : trace) s.push_back(rec.rates.at(task));
+  return s;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  EUCON_REQUIRE(config.sampling_period > 0.0, "sampling period must be positive");
+  EUCON_REQUIRE(config.num_periods > 0, "experiment needs at least one period");
+  EUCON_REQUIRE(config.report_loss_probability >= 0.0 &&
+                    config.report_loss_probability < 1.0,
+                "report loss probability must be in [0, 1)");
+  EUCON_REQUIRE(!config.enable_admission_control ||
+                    config.controller == ControllerKind::kEucon,
+                "admission control requires the EUCON controller");
+  EUCON_REQUIRE(!config.enable_reallocation ||
+                    config.controller == ControllerKind::kEucon,
+                "task reallocation requires the EUCON controller");
+  config.spec.validate();
+
+  auto controller = make_controller(config);
+  rts::Simulator sim(config.spec, config.sim);
+
+  // OPEN assigns its designed rates from time zero; for the feedback
+  // controllers this re-applies the (clamped) initial rates, a no-op.
+  if (config.controller == ControllerKind::kOpen) {
+    auto* open = dynamic_cast<control::OpenLoopController*>(controller.get());
+    sim.set_rates(open->rates().data());
+  }
+
+  const control::PlantModel model =
+      control::make_plant_model(config.spec, config.set_points);
+  std::unique_ptr<control::AdmissionGovernor> governor;
+  if (config.enable_admission_control) {
+    governor = std::make_unique<control::AdmissionGovernor>(model,
+                                                            config.admission);
+  }
+  std::unique_ptr<control::ReallocationPlanner> planner;
+  if (config.enable_reallocation) {
+    planner = std::make_unique<control::ReallocationPlanner>(
+        config.spec, model.b, config.reallocation);
+  }
+
+  // Monitor -> controller channels (with optional loss injection); the
+  // lanes' RNG stream is derived from the seed independently of the
+  // execution-time jitter stream, keeping runs reproducible.
+  FeedbackLanes lanes(static_cast<std::size_t>(config.spec.num_processors),
+                      config.report_loss_probability, config.sim.seed);
+
+  const Ticks ts = units_to_ticks(config.sampling_period);
+  ExperimentResult result;
+  result.set_points = model.b;
+  result.trace.reserve(static_cast<std::size_t>(config.num_periods));
+
+  std::vector<bool> enabled(config.spec.num_tasks(), true);
+
+  for (int k = 1; k <= config.num_periods; ++k) {
+    sim.run_until(static_cast<Ticks>(k) * ts);
+    const std::vector<double> u = sim.sample_utilizations();
+
+    // Deliver the reports over the (possibly lossy) feedback lanes.
+    const linalg::Vector u_seen = lanes.deliver(linalg::Vector(u));
+
+    const linalg::Vector rates = controller->update(u_seen);
+    sim.set_rates(rates.data());
+    if (config.controller_host >= 0 && config.controller_overhead > 0.0)
+      sim.inject_overhead(config.controller_host, config.controller_overhead);
+
+    if (governor != nullptr) {
+      const std::vector<bool>& mask = governor->update(linalg::Vector(u), rates);
+      if (mask != enabled) {
+        enabled = mask;
+        for (std::size_t t = 0; t < enabled.size(); ++t)
+          sim.set_task_enabled(static_cast<int>(t), enabled[t]);
+        dynamic_cast<control::MpcController&>(*controller)
+            .set_enabled_tasks(enabled);
+      }
+    }
+    if (planner != nullptr) {
+      if (const auto move = planner->update(linalg::Vector(u), rates)) {
+        sim.migrate_subtask(move->task, move->subtask, move->to);
+        dynamic_cast<control::MpcController&>(*controller)
+            .set_allocation_matrix(planner->allocation_matrix());
+        result.reallocations.push_back(*move);
+      }
+    }
+    if (config.on_period) config.on_period(k, *controller);
+
+    SampleRecord rec;
+    rec.k = k;
+    rec.u = u;
+    rec.rates = rates.data();
+    rec.enabled_tasks = static_cast<int>(
+        std::count(enabled.begin(), enabled.end(), true));
+    result.trace.push_back(std::move(rec));
+  }
+
+  result.lost_reports = lanes.lost_reports();
+  result.deadlines = sim.deadline_stats();
+  if (config.sim.enable_trace) result.trace_log = sim.trace();
+  if (auto* mpc = dynamic_cast<control::MpcController*>(controller.get()))
+    result.controller_fallbacks = mpc->fallback_count();
+  if (governor != nullptr) {
+    result.admission_suspensions = governor->suspensions();
+    result.admission_readmissions = governor->readmissions();
+  }
+  return result;
+}
+
+}  // namespace eucon

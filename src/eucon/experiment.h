@@ -1,0 +1,107 @@
+// The closed-loop experiment runner: wires a utilization controller to the
+// simulated DRE system exactly as in the paper's Figure 1 and records the
+// per-period trace the evaluation figures are drawn from.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/admission.h"
+#include "control/controller.h"
+#include "control/reallocation.h"
+#include "control/uncoordinated.h"
+#include "control/mpc.h"
+#include "control/pid.h"
+#include "linalg/vector.h"
+#include "rts/deadline_stats.h"
+#include "rts/simulator.h"
+#include "rts/spec.h"
+
+namespace eucon {
+
+enum class ControllerKind {
+  kEucon,          // centralized MPC (the paper)
+  kOpen,           // open-loop baseline (§7.1)
+  kPid,            // per-processor PID baseline (§6.1 ablation)
+  kDecentralized,  // per-processor local MPCs (the paper's future work)
+  kAdaptive,       // MPC with on-line gain estimation (self-tuning EUCON)
+  kUncoordinated,  // independent per-processor FCS (the §2 strawman)
+};
+
+const char* controller_kind_name(ControllerKind kind);
+
+struct ExperimentConfig {
+  rts::SystemSpec spec;
+  ControllerKind controller = ControllerKind::kEucon;
+  control::MpcParams mpc;            // used by kEucon/kDecentralized/kAdaptive
+  control::PidParams pid;            // used by kPid
+  control::UncoordinatedParams fcs;  // used by kUncoordinated
+  linalg::Vector set_points;         // empty = Liu–Layland bounds (eq. 13)
+  double sampling_period = 1000.0;   // Ts, in time units (Table 2)
+  int num_periods = 300;             // simulation length in sampling periods
+  rts::SimOptions sim;               // seed, jitter, etf profile, lane delay
+
+  // Probability that a processor's utilization report is lost in a given
+  // sampling period (failure injection on the feedback lanes); the
+  // controller then sees that processor's last delivered value.
+  double report_loss_probability = 0.0;
+
+  // Admission control (§6.2's alternative adaptation mechanism). Only
+  // meaningful with ControllerKind::kEucon: the governor suspends /
+  // re-admits tasks in both the simulator and the controller model.
+  bool enable_admission_control = false;
+  control::AdmissionParams admission;
+
+  // Task reallocation (§6.2's other adaptation mechanism). Only meaningful
+  // with ControllerKind::kEucon; moves are applied to the simulator and
+  // the controller's allocation matrix. The set points stay as configured
+  // (a deployment using reallocation chooses them explicitly rather than
+  // deriving them from the — now changing — per-processor subtask counts).
+  bool enable_reallocation = false;
+  control::ReallocationParams reallocation;
+
+  // Controller placement (§4): when controller_host >= 0, every sampling
+  // period injects `controller_overhead` time units of highest-priority
+  // work on that processor — the controller "sharing a processor with some
+  // applications". -1 models a dedicated controller processor (default).
+  int controller_host = -1;
+  double controller_overhead = 0.0;
+
+  // Optional per-period hook, called after the controller update of period
+  // k (1-based); can mutate the controller (e.g. change set points online).
+  std::function<void(int k, control::Controller&)> on_period;
+};
+
+struct SampleRecord {
+  int k = 0;                   // sampling-period index, 1-based
+  std::vector<double> u;       // measured utilization per processor
+  std::vector<double> rates;   // task rates applied for the next period
+  int enabled_tasks = 0;       // tasks admitted during this period
+};
+
+struct ExperimentResult {
+  std::vector<SampleRecord> trace;
+  linalg::Vector set_points;
+  rts::DeadlineStats deadlines{0};
+  std::uint64_t controller_fallbacks = 0;  // EUCON infeasible-instance count
+  std::uint64_t admission_suspensions = 0;
+  std::uint64_t admission_readmissions = 0;
+  std::uint64_t lost_reports = 0;  // injected feedback-lane losses
+  std::vector<control::Move> reallocations;  // executed migrations, in order
+  rts::TraceLog trace_log;  // populated when sim.enable_trace is set
+
+  // Series of u_p(k) for processor p.
+  std::vector<double> utilization_series(std::size_t processor) const;
+  std::vector<double> rate_series(std::size_t task) const;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Builds the controller an experiment would use (exposed for tests and
+// benches that drive the pieces manually).
+std::unique_ptr<control::Controller> make_controller(
+    const ExperimentConfig& config);
+
+}  // namespace eucon

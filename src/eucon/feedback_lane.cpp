@@ -1,0 +1,32 @@
+#include "eucon/feedback_lane.h"
+
+#include "common/check.h"
+
+namespace eucon {
+
+FeedbackLanes::FeedbackLanes(std::size_t num_processors,
+                             double loss_probability, std::uint64_t seed)
+    : loss_probability_(loss_probability),
+      rng_(Rng(seed).split(0x10557).next_u64()),
+      last_(num_processors, 0.0) {
+  EUCON_REQUIRE(num_processors > 0, "lanes need at least one processor");
+  EUCON_REQUIRE(loss_probability >= 0.0 && loss_probability < 1.0,
+                "loss probability must be in [0, 1)");
+}
+
+linalg::Vector FeedbackLanes::deliver(const linalg::Vector& measured) {
+  EUCON_REQUIRE(measured.size() == last_.size(), "measurement size mismatch");
+  linalg::Vector seen = measured;
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    if (loss_probability_ > 0.0 && rng_.next_double() < loss_probability_) {
+      seen[p] = last_[p];
+      ++lost_;
+    } else {
+      ++delivered_;
+    }
+  }
+  last_ = seen;
+  return seen;
+}
+
+}  // namespace eucon

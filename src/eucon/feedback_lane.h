@@ -1,0 +1,42 @@
+// Feedback lanes: the monitor -> controller channels of Figure 1.
+//
+// The paper realizes them as one TCP connection per processor; here each
+// lane models what that gives you operationally: in-order delivery, a
+// possible outage (report loss — the controller keeps the last delivered
+// measurement, TCP's effective behavior when a report misses the sampling
+// deadline), and accounting. The actuation direction's latency is modeled
+// separately by the simulator's feedback_lane_delay (rates arriving late).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/vector.h"
+
+namespace eucon {
+
+class FeedbackLanes {
+ public:
+  // `loss_probability` applies independently per lane per period.
+  FeedbackLanes(std::size_t num_processors, double loss_probability,
+                std::uint64_t seed);
+
+  // Passes one period's measurements through the lanes: entries whose lane
+  // drops this period are replaced by the lane's last delivered value
+  // (initially 0, i.e. "no load reported yet").
+  linalg::Vector deliver(const linalg::Vector& measured);
+
+  std::uint64_t lost_reports() const { return lost_; }
+  std::uint64_t delivered_reports() const { return delivered_; }
+  const linalg::Vector& last_delivered() const { return last_; }
+
+ private:
+  double loss_probability_;
+  Rng rng_;
+  linalg::Vector last_;
+  std::uint64_t lost_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace eucon

@@ -1,0 +1,79 @@
+#include "eucon/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eucon::metrics {
+
+RunningStats utilization_stats(const ExperimentResult& result,
+                               std::size_t processor, std::size_t from,
+                               std::size_t to) {
+  if (to == 0) to = result.trace.size();
+  EUCON_REQUIRE(from < to && to <= result.trace.size(), "bad metrics window");
+  RunningStats s;
+  for (std::size_t i = from; i < to; ++i)
+    s.add(result.trace[i].u.at(processor));
+  return s;
+}
+
+Acceptability acceptability(const ExperimentResult& result,
+                            std::size_t processor, std::size_t from,
+                            std::size_t to, double mean_tol,
+                            double stddev_limit) {
+  const RunningStats s = utilization_stats(result, processor, from, to);
+  Acceptability a;
+  a.mean = s.mean();
+  a.stddev = s.stddev();
+  a.set_point = result.set_points.at(processor);
+  a.mean_ok = std::abs(a.mean - a.set_point) <= mean_tol;
+  a.stddev_ok = a.stddev < stddev_limit;
+  return a;
+}
+
+bool all_acceptable(const ExperimentResult& result, std::size_t from,
+                    std::size_t to) {
+  for (std::size_t p = 0; p < result.set_points.size(); ++p)
+    if (!acceptability(result, p, from, to).acceptable()) return false;
+  return true;
+}
+
+double accrued_value(const ExperimentResult& result,
+                     const rts::SystemSpec& spec, std::size_t from,
+                     std::size_t to, const std::vector<double>& weights) {
+  if (to == 0) to = result.trace.size();
+  EUCON_REQUIRE(from < to && to <= result.trace.size(), "bad value window");
+  EUCON_REQUIRE(weights.empty() || weights.size() == spec.num_tasks(),
+                "weights size mismatch");
+  double total = 0.0;
+  for (std::size_t i = from; i < to; ++i) {
+    for (std::size_t t = 0; t < spec.num_tasks(); ++t) {
+      const auto& task = spec.tasks[t];
+      const double span = task.rate_max - task.rate_min;
+      const double normalized =
+          span > 0.0
+              ? (result.trace[i].rates.at(t) - task.rate_min) / span
+              : 1.0;
+      total += (weights.empty() ? 1.0 : weights[t]) * normalized;
+    }
+  }
+  return total / static_cast<double>(to - from);
+}
+
+int settling_time(const ExperimentResult& result, std::size_t processor,
+                  std::size_t event_k, double band, int hold) {
+  EUCON_REQUIRE(event_k < result.trace.size(), "event outside trace");
+  const double target = result.set_points.at(processor);
+  int in_band = 0;
+  for (std::size_t i = event_k; i < result.trace.size(); ++i) {
+    if (std::abs(result.trace[i].u.at(processor) - target) <= band) {
+      if (++in_band >= hold)
+        return static_cast<int>(i - static_cast<std::size_t>(hold - 1) - event_k);
+    } else {
+      in_band = 0;
+    }
+  }
+  return -1;
+}
+
+}  // namespace eucon::metrics

@@ -1,0 +1,76 @@
+#include "eucon/network.h"
+
+#include "common/check.h"
+
+namespace eucon::network {
+
+int LinkedSystem::link_between(int from, int to) const {
+  EUCON_REQUIRE(from >= 0 && from < num_compute && to >= 0 && to < num_compute,
+                "link_between: processor out of range");
+  return link_processor[static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(num_compute) +
+                        static_cast<std::size_t>(to)];
+}
+
+LinkedSystem with_network_links(const rts::SystemSpec& spec,
+                                const LinkModelParams& params) {
+  spec.validate();
+  EUCON_REQUIRE(params.transmission_time > 0.0,
+                "transmission time must be positive");
+
+  LinkedSystem out;
+  out.num_compute = spec.num_processors;
+  const auto n = static_cast<std::size_t>(spec.num_processors);
+  out.link_processor.assign(n * n, -1);
+
+  // First pass: discover the links any chain actually crosses and assign
+  // them processor indices after the compute processors.
+  int next_link = spec.num_processors;
+  for (const auto& task : spec.tasks) {
+    for (std::size_t j = 1; j < task.subtasks.size(); ++j) {
+      const int from = task.subtasks[j - 1].processor;
+      const int to = task.subtasks[j].processor;
+      if (from == to) continue;
+      const std::size_t fwd = static_cast<std::size_t>(from) * n +
+                              static_cast<std::size_t>(to);
+      if (out.link_processor[fwd] >= 0) continue;
+      out.link_processor[fwd] = next_link;
+      if (!params.full_duplex) {
+        const std::size_t rev = static_cast<std::size_t>(to) * n +
+                                static_cast<std::size_t>(from);
+        out.link_processor[rev] = next_link;
+      }
+      ++next_link;
+    }
+  }
+  out.num_links = next_link - spec.num_processors;
+
+  // Second pass: rebuild every chain with link subtasks on the hops.
+  out.spec.num_processors = next_link;
+  for (const auto& task : spec.tasks) {
+    rts::TaskSpec t;
+    t.name = task.name;
+    t.rate_min = task.rate_min;
+    t.rate_max = task.rate_max;
+    t.initial_rate = task.initial_rate;
+    t.subtasks.push_back(task.subtasks.front());
+    for (std::size_t j = 1; j < task.subtasks.size(); ++j) {
+      const int from = task.subtasks[j - 1].processor;
+      const int to = task.subtasks[j].processor;
+      if (from != to) {
+        rts::SubtaskSpec link;
+        link.processor = out.link_processor[static_cast<std::size_t>(from) * n +
+                                            static_cast<std::size_t>(to)];
+        EUCON_ASSERT(link.processor >= 0, "hop without a discovered link");
+        link.estimated_exec = params.transmission_time;
+        t.subtasks.push_back(link);
+      }
+      t.subtasks.push_back(task.subtasks[j]);
+    }
+    out.spec.tasks.push_back(std::move(t));
+  }
+  out.spec.validate();
+  return out;
+}
+
+}  // namespace eucon::network

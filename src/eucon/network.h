@@ -1,0 +1,47 @@
+// Modeling network delay by treating links as processors (paper §7.1).
+//
+// The paper ignores network delay in its simulations but names the classic
+// remedy: "network delay can be handled by treating each network link as a
+// processor". This transform applies it mechanically: wherever a task
+// chain hops between two (compute) processors, a *link subtask* is
+// inserted that executes on the processor modeling that link, with an
+// estimated execution time equal to the message's transmission time.
+//
+// The transformed spec is an ordinary SystemSpec: EUCON then controls the
+// links' utilization exactly like CPU utilization (preventing congestion),
+// and link traversal time shows up in end-to-end responses.
+#pragma once
+
+#include <vector>
+
+#include "rts/spec.h"
+
+namespace eucon::network {
+
+struct LinkModelParams {
+  // Transmission time (in time units) for one message on a link. Applied
+  // to every inserted link subtask.
+  double transmission_time = 5.0;
+  // When true, one link processor models each *direction* of each
+  // (ordered) processor pair actually used by some chain; when false, one
+  // per unordered pair (half-duplex bus).
+  bool full_duplex = true;
+};
+
+struct LinkedSystem {
+  rts::SystemSpec spec;     // compute processors first, link processors after
+  int num_compute = 0;      // original processor count
+  int num_links = 0;        // appended link processors
+  // link_of[{from,to}] lookup: flattened as from * n + to -> link processor
+  // index (or -1). Sized num_compute^2.
+  std::vector<int> link_processor;
+
+  int link_between(int from, int to) const;
+};
+
+// Builds the transformed system. Chains that stay on one processor are
+// unchanged; every inter-processor hop gains a link subtask.
+LinkedSystem with_network_links(const rts::SystemSpec& spec,
+                                const LinkModelParams& params = {});
+
+}  // namespace eucon::network

@@ -1,0 +1,89 @@
+#include "eucon/report.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "eucon/metrics.h"
+
+namespace eucon::report {
+
+void write_utilization_csv(const ExperimentResult& result, std::ostream& out) {
+  CsvWriter w(out);
+  std::vector<std::string> header{"k"};
+  for (std::size_t p = 0; p < result.set_points.size(); ++p)
+    header.push_back("u_P" + std::to_string(p + 1));
+  w.write_header(header);
+  for (const auto& rec : result.trace) {
+    std::vector<double> row{static_cast<double>(rec.k)};
+    row.insert(row.end(), rec.u.begin(), rec.u.end());
+    w.write_row(row);
+  }
+}
+
+void write_rates_csv(const ExperimentResult& result,
+                     const rts::SystemSpec& spec, std::ostream& out) {
+  EUCON_REQUIRE(result.trace.empty() ||
+                    result.trace.front().rates.size() == spec.num_tasks(),
+                "spec does not match the result");
+  CsvWriter w(out);
+  std::vector<std::string> header{"k"};
+  for (const auto& t : spec.tasks) header.push_back("r_" + t.name);
+  w.write_header(header);
+  for (const auto& rec : result.trace) {
+    std::vector<double> row{static_cast<double>(rec.k)};
+    row.insert(row.end(), rec.rates.begin(), rec.rates.end());
+    w.write_row(row);
+  }
+}
+
+void write_summary(const ExperimentResult& result, std::ostream& out,
+                   std::size_t steady_from) {
+  if (steady_from == 0) {
+    steady_from = result.trace.size() > metrics::kSteadyStateFrom * 2
+                      ? metrics::kSteadyStateFrom
+                      : result.trace.size() / 3;
+  }
+  out << "periods: " << result.trace.size() << "\n";
+  out << "steady-state window: [" << steady_from << ", "
+      << result.trace.size() << ")\n";
+  for (std::size_t p = 0; p < result.set_points.size(); ++p) {
+    const auto a = metrics::acceptability(result, p, steady_from);
+    out << "P" << p + 1 << ": mean " << a.mean << " sigma " << a.stddev
+        << " set " << a.set_point << " -> "
+        << (a.acceptable() ? "acceptable" : "NOT acceptable") << "\n";
+  }
+  out << "e2e deadline miss ratio: " << result.deadlines.e2e_miss_ratio()
+      << "\n";
+  out << "subtask deadline miss ratio: "
+      << result.deadlines.subtask_miss_ratio() << "\n";
+  out << "controller fallbacks: " << result.controller_fallbacks << "\n";
+  out << "lost reports: " << result.lost_reports << "\n";
+  if (result.admission_suspensions || result.admission_readmissions)
+    out << "admission: " << result.admission_suspensions << " suspensions, "
+        << result.admission_readmissions << " readmissions\n";
+  if (!result.reallocations.empty()) {
+    out << "reallocations:";
+    for (const auto& m : result.reallocations)
+      out << " T" << m.task + 1 << "." << m.subtask + 1 << ":P" << m.from + 1
+          << "->P" << m.to + 1;
+    out << "\n";
+  }
+}
+
+void write_all(const ExperimentResult& result, const rts::SystemSpec& spec,
+               const std::string& prefix) {
+  const auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    EUCON_REQUIRE(out.good(), "cannot open " + path);
+    return out;
+  };
+  auto u = open(prefix + "_utilization.csv");
+  write_utilization_csv(result, u);
+  auto r = open(prefix + "_rates.csv");
+  write_rates_csv(result, spec, r);
+  auto s = open(prefix + "_summary.txt");
+  write_summary(result, s);
+}
+
+}  // namespace eucon::report

@@ -1,0 +1,48 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace eucon::linalg {
+
+Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(n_, n_) {
+  EUCON_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  for (std::size_t j = 0; j < n_ && spd_; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      spd_ = false;
+      break;
+    }
+    l_(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n_; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  EUCON_REQUIRE(b.size() == n_, "Cholesky solve size mismatch");
+  if (!spd_) throw std::runtime_error("Cholesky::solve: matrix not SPD");
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::l() const { return l_; }
+
+}  // namespace eucon::linalg

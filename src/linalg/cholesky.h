@@ -1,0 +1,30 @@
+// Cholesky (LL^T) factorization of symmetric positive-definite matrices.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace eucon::linalg {
+
+class Cholesky {
+ public:
+  // Factors a symmetric matrix; only the lower triangle is read.
+  explicit Cholesky(const Matrix& a);
+
+  // True when the matrix was numerically positive definite.
+  bool positive_definite() const { return spd_; }
+
+  // Solves A x = b. Throws std::runtime_error when not SPD.
+  Vector solve(const Vector& b) const;
+
+  Matrix l() const;
+
+ private:
+  std::size_t n_;
+  Matrix l_;
+  bool spd_ = true;
+};
+
+}  // namespace eucon::linalg

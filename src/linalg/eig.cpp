@@ -1,0 +1,226 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace eucon::linalg {
+
+Matrix hessenberg(const Matrix& a) {
+  EUCON_REQUIRE(a.rows() == a.cols(), "hessenberg requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  if (n < 3) return h;
+
+  std::vector<double> v(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector zeroing h(k+2..n-1, k).
+    double norm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm += h(i, k) * h(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = h(k + 1, k) >= 0 ? -norm : norm;
+    double vtv = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) v[i] = h(i, k);
+    v[k + 1] -= alpha;
+    for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
+    if (vtv == 0.0) continue;
+    const double beta = 2.0 / vtv;
+
+    // H := P H P with P = I - beta v v^T (v supported on rows k+1..n-1).
+    // Left multiply: rows k+1..n-1 of all columns.
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) dot += v[i] * h(i, j);
+      const double s = beta * dot;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= s * v[i];
+    }
+    // Right multiply: columns k+1..n-1 of all rows.
+    for (std::size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) dot += h(i, j) * v[j];
+      const double s = beta * dot;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= s * v[j];
+    }
+    // Clean the column we just zeroed (numerically exact zeros).
+    h(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+  return h;
+}
+
+namespace {
+
+inline double sign_of(double a, double b) { return b >= 0 ? std::abs(a) : -std::abs(a); }
+
+// EISPACK-style HQR on an upper Hessenberg matrix. Uses 1-based indexing
+// internally (working copy padded by one row/column) to match the classic
+// formulation exactly.
+void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
+                     std::vector<double>& wi) {
+  const int n = static_cast<int>(hess.rows());
+  wr.assign(n + 1, 0.0);
+  wi.assign(n + 1, 0.0);
+
+  // 1-based working copy.
+  std::vector<std::vector<double>> a(n + 1, std::vector<double>(n + 1, 0.0));
+  for (int i = 1; i <= n; ++i)
+    for (int j = 1; j <= n; ++j)
+      a[i][j] = hess(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j - 1));
+
+  double anorm = 0.0;
+  for (int i = 1; i <= n; ++i)
+    for (int j = std::max(i - 1, 1); j <= n; ++j) anorm += std::abs(a[i][j]);
+  if (anorm == 0.0) return;  // zero matrix: all eigenvalues zero
+
+  int nn = n;
+  double t = 0.0;
+  while (nn >= 1) {
+    int its = 0;
+    int l;
+    do {
+      for (l = nn; l >= 2; --l) {
+        double s = std::abs(a[l - 1][l - 1]) + std::abs(a[l][l]);
+        if (s == 0.0) s = anorm;
+        if (std::abs(a[l][l - 1]) + s == s) {
+          a[l][l - 1] = 0.0;
+          break;
+        }
+      }
+      double x = a[nn][nn];
+      if (l == nn) {  // one real eigenvalue found
+        wr[nn] = x + t;
+        wi[nn] = 0.0;
+        --nn;
+      } else {
+        double y = a[nn - 1][nn - 1];
+        double w = a[nn][nn - 1] * a[nn - 1][nn];
+        if (l == nn - 1) {  // a 2x2 block resolves into two eigenvalues
+          double p = 0.5 * (y - x);
+          double q = p * p + w;
+          double z = std::sqrt(std::abs(q));
+          x += t;
+          if (q >= 0.0) {  // real pair
+            z = p + sign_of(z, p);
+            wr[nn - 1] = wr[nn] = x + z;
+            if (z != 0.0) wr[nn] = x - w / z;
+            wi[nn - 1] = wi[nn] = 0.0;
+          } else {  // complex conjugate pair
+            wr[nn - 1] = wr[nn] = x + p;
+            wi[nn - 1] = -(wi[nn] = z);
+          }
+          nn -= 2;
+        } else {  // no root yet: do a double QR sweep
+          if (its == 60)
+            throw std::runtime_error("eigenvalues: QR iteration did not converge");
+          if (its == 10 || its == 20 || its == 30 || its == 40 || its == 50) {
+            // Exceptional shift to break (rare) cycling.
+            t += x;
+            for (int i = 1; i <= nn; ++i) a[i][i] -= x;
+            const double s = std::abs(a[nn][nn - 1]) + std::abs(a[nn - 1][nn - 2]);
+            y = x = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          int m;
+          double p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+          for (m = nn - 2; m >= l; --m) {
+            z = a[m][m];
+            const double rr = x - z;
+            const double ss = y - z;
+            p = (rr * ss - w) / a[m + 1][m] + a[m][m + 1];
+            q = a[m + 1][m + 1] - z - rr - ss;
+            r = a[m + 2][m + 1];
+            const double scale = std::abs(p) + std::abs(q) + std::abs(r);
+            p /= scale;
+            q /= scale;
+            r /= scale;
+            if (m == l) break;
+            const double u = std::abs(a[m][m - 1]) * (std::abs(q) + std::abs(r));
+            const double v =
+                std::abs(p) * (std::abs(a[m - 1][m - 1]) + std::abs(z) +
+                               std::abs(a[m + 1][m + 1]));
+            if (u + v == v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            a[i][i - 2] = 0.0;
+            if (i != m + 2) a[i][i - 3] = 0.0;
+          }
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a[k][k - 1];
+              q = a[k + 1][k - 1];
+              r = 0.0;
+              if (k != nn - 1) r = a[k + 2][k - 1];
+              x = std::abs(p) + std::abs(q) + std::abs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            const double s = sign_of(std::sqrt(p * p + q * q + r * r), p);
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (l != m) a[k][k - 1] = -a[k][k - 1];
+            } else {
+              a[k][k - 1] = -s * x;
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+            for (int j = k; j <= nn; ++j) {  // row modification
+              double pp = a[k][j] + q * a[k + 1][j];
+              if (k != nn - 1) {
+                pp += r * a[k + 2][j];
+                a[k + 2][j] -= pp * z;
+              }
+              a[k + 1][j] -= pp * y;
+              a[k][j] -= pp * x;
+            }
+            const int mmin = nn < k + 3 ? nn : k + 3;
+            for (int i = l; i <= mmin; ++i) {  // column modification
+              double pp = x * a[i][k] + y * a[i][k + 1];
+              if (k != nn - 1) {
+                pp += z * a[i][k + 2];
+                a[i][k + 2] -= pp * r;
+              }
+              a[i][k + 1] -= pp * q;
+              a[i][k] -= pp;
+            }
+          }
+        }
+      }
+    } while (l < nn - 1 && nn >= 1);
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  EUCON_REQUIRE(a.rows() == a.cols(), "eigenvalues requires a square matrix");
+  const std::size_t n = a.rows();
+  std::vector<std::complex<double>> out;
+  if (n == 0) return out;
+  if (n == 1) return {std::complex<double>(a(0, 0), 0.0)};
+
+  const Matrix h = hessenberg(a);
+  std::vector<double> wr, wi;
+  hqr_eigenvalues(h, wr, wi);
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) out.emplace_back(wr[i], wi[i]);
+  return out;
+}
+
+double spectral_radius(const Matrix& a) {
+  double rho = 0.0;
+  for (const auto& ev : eigenvalues(a)) rho = std::max(rho, std::abs(ev));
+  return rho;
+}
+
+}  // namespace eucon::linalg

@@ -1,0 +1,29 @@
+// Eigenvalues of general real square matrices.
+//
+// Pipeline: Householder reduction to upper Hessenberg form, then the
+// Francis implicit double-shift QR iteration (the classic EISPACK HQR
+// algorithm). Only eigenvalues are computed — exactly what the EUCON
+// stability analysis needs (spectral radius of the closed-loop matrix).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace eucon::linalg {
+
+// Reduces `a` to upper Hessenberg form via Householder similarity
+// transforms (same eigenvalues as `a`).
+Matrix hessenberg(const Matrix& a);
+
+// All eigenvalues of a general real square matrix. Complex eigenvalues
+// appear in conjugate pairs. Throws std::runtime_error if the QR iteration
+// fails to converge (pathological inputs; does not occur for the matrices
+// arising in this library).
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+// max_i |lambda_i|.
+double spectral_radius(const Matrix& a);
+
+}  // namespace eucon::linalg

@@ -1,0 +1,220 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace eucon::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    EUCON_REQUIRE(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  EUCON_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  EUCON_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  EUCON_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix size mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  EUCON_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix size mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  EUCON_REQUIRE(r < rows_, "row index out of range");
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  EUCON_REQUIRE(c < cols_, "col index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  EUCON_REQUIRE(r < rows_ && v.size() == cols_, "bad set_row");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vector& v) {
+  EUCON_REQUIRE(c < cols_ && v.size() == rows_, "bad set_col");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  EUCON_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+                "set_block out of range");
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) (*this)(r0 + r, c0 + c) = b(r, c);
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nrows,
+                     std::size_t ncols) const {
+  EUCON_REQUIRE(r0 + nrows <= rows_ && c0 + ncols <= cols_, "block out of range");
+  Matrix b(nrows, ncols);
+  for (std::size_t r = 0; r < nrows; ++r)
+    for (std::size_t c = 0; c < ncols; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  return b;
+}
+
+double Matrix::norm_inf() const {
+  double m = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += std::abs((*this)(r, c));
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r) os << "; ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ' ';
+      os << (*this)(r, c);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(double s, Matrix m) { return m *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  EUCON_REQUIRE(a.cols() == b.rows(), "matrix product size mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  EUCON_REQUIRE(a.cols() == x.size(), "matrix-vector size mismatch");
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector transpose_times(const Matrix& a, const Vector& x) {
+  EUCON_REQUIRE(a.rows() == x.size(), "transpose_times size mismatch");
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
+  }
+  return y;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) acc += a(r, i) * a(r, j);
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+  return true;
+}
+
+Matrix vstack(const Matrix& a, const Matrix& b) {
+  if (a.empty() && a.rows() == 0) {
+    if (a.cols() == 0) return b;
+  }
+  if (b.rows() == 0) return a;
+  if (a.rows() == 0) return b;
+  EUCON_REQUIRE(a.cols() == b.cols(), "vstack column mismatch");
+  Matrix out(a.rows() + b.rows(), a.cols());
+  out.set_block(0, 0, a);
+  out.set_block(a.rows(), 0, b);
+  return out;
+}
+
+Matrix hstack(const Matrix& a, const Matrix& b) {
+  if (b.cols() == 0) return a;
+  if (a.cols() == 0) return b;
+  EUCON_REQUIRE(a.rows() == b.rows(), "hstack row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  out.set_block(0, 0, a);
+  out.set_block(0, a.cols(), b);
+  return out;
+}
+
+}  // namespace eucon::linalg

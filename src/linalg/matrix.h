@@ -1,0 +1,79 @@
+// Dense real matrix, row-major.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace eucon::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Construction from nested initializer lists; all rows must have the
+  // same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  Matrix transposed() const;
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  // Copies `block` into this matrix with its top-left corner at (r0, c0).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& block);
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nrows,
+               std::size_t ncols) const;
+
+  double norm_inf() const;        // max row sum of |entries|
+  double frobenius_norm() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(double s, Matrix m);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Vector operator*(const Matrix& a, const Vector& x);
+
+// y = A^T x without forming the transpose.
+Vector transpose_times(const Matrix& a, const Vector& x);
+// A^T A (symmetric; computed directly).
+Matrix gram(const Matrix& a);
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+// Vertical stack: rows of `a` above rows of `b` (column counts must match;
+// an empty matrix acts as the identity of stacking).
+Matrix vstack(const Matrix& a, const Matrix& b);
+Matrix hstack(const Matrix& a, const Matrix& b);
+
+}  // namespace eucon::linalg

@@ -1,0 +1,89 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace eucon::linalg {
+
+namespace {
+constexpr double kRankTol = 1e-12;
+}
+
+Qr::Qr(const Matrix& a)
+    : m_(a.rows()), n_(a.cols()), qr_(a), beta_(n_, 0.0), vk_head_(n_, 0.0) {
+  EUCON_REQUIRE(m_ >= n_, "QR requires rows >= cols");
+  double scale = qr_.frobenius_norm();
+  if (scale == 0.0) scale = 1.0;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Householder reflection zeroing column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= kRankTol * scale) {
+      full_rank_ = false;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const double vkk = qr_(k, k) - alpha;  // v = x - alpha*e1
+    qr_(k, k) = alpha;                     // R(k,k)
+    double vtv = vkk * vkk;
+    for (std::size_t i = k + 1; i < m_; ++i) vtv += qr_(i, k) * qr_(i, k);
+    if (vtv == 0.0) continue;
+    beta_[k] = 2.0 / vtv;
+    vk_head_[k] = vkk;
+
+    // Apply H = I - beta v v^T to the trailing columns. The tail of v stays
+    // stored below the diagonal of column k.
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double dot = vkk * qr_(k, j);
+      for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * qr_(i, j);
+      const double s = beta_[k] * dot;
+      qr_(k, j) -= s * vkk;
+      for (std::size_t i = k + 1; i < m_; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+Vector Qr::qt_times(const Vector& b) const {
+  EUCON_REQUIRE(b.size() == m_, "qt_times size mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (beta_[k] == 0.0) continue;
+    const double vkk = vk_head_[k];
+    double dot = vkk * y[k];
+    for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * y[i];
+    const double s = beta_[k] * dot;
+    y[k] -= s * vkk;
+    for (std::size_t i = k + 1; i < m_; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Matrix Qr::r() const {
+  Matrix r(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i; j < n_; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Vector Qr::solve_least_squares(const Vector& b) const {
+  if (!full_rank_)
+    throw std::runtime_error("Qr::solve_least_squares: rank-deficient matrix");
+  Vector y = qt_times(b);
+  Vector x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= qr_(ii, j) * x[j];
+    x[ii] = acc / qr_(ii, ii);
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  return Qr(a).solve_least_squares(b);
+}
+
+}  // namespace eucon::linalg

@@ -1,0 +1,92 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace eucon::linalg {
+
+double& Vector::at(std::size_t i) {
+  EUCON_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  EUCON_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in -=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Vector::dot(const Vector& rhs) const {
+  EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += data_[i] * rhs.data_[i];
+  return acc;
+}
+
+double Vector::norm2() const { return std::sqrt(dot(*this)); }
+
+double Vector::norm_inf() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Vector::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+Vector Vector::clamped(const Vector& lo, const Vector& hi) const {
+  EUCON_REQUIRE(size() == lo.size() && size() == hi.size(),
+                "vector size mismatch in clamped");
+  Vector out(size());
+  for (std::size_t i = 0; i < size(); ++i)
+    out[i] = std::clamp(data_[i], lo[i], hi[i]);
+  return out;
+}
+
+std::string Vector::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator*(Vector v, double s) { return v *= s; }
+Vector operator-(Vector v) { return v *= -1.0; }
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace eucon::linalg

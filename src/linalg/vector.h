@@ -1,0 +1,57 @@
+// Dense real vector.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eucon::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  // Bounds-checked access.
+  double& at(std::size_t i);
+  double at(std::size_t i) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+
+  double dot(const Vector& rhs) const;
+  double norm2() const;      // Euclidean norm
+  double norm_inf() const;   // max |x_i|
+  double sum() const;
+
+  // Elementwise clamp into [lo, hi] (vectors of the same size).
+  Vector clamped(const Vector& lo, const Vector& hi) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(double s, Vector v);
+Vector operator*(Vector v, double s);
+Vector operator-(Vector v);
+
+// True iff |a_i - b_i| <= tol for all i (sizes must match).
+bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace eucon::linalg

@@ -1,0 +1,207 @@
+#include "qp/active_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/lu.h"
+
+namespace eucon::qp {
+
+namespace {
+
+using linalg::Lu;
+using linalg::Matrix;
+using linalg::Vector;
+
+double objective_value(const Matrix& h, const Vector& f, const Vector& x) {
+  return 0.5 * x.dot(h * x) + f.dot(x);
+}
+
+// Solves the equality-constrained subproblem
+//   min 0.5 (x+p)'H(x+p) + f'(x+p)   s.t.  a_i p = 0 for i in working set
+// via the KKT system. Returns false when the KKT matrix is singular (the
+// working-set rows are linearly dependent).
+bool solve_eqp(const Matrix& h, const Vector& g /* = Hx + f */, const Matrix& a,
+               const std::vector<std::size_t>& working, Vector& p,
+               Vector& lambda) {
+  const std::size_t n = h.rows();
+  const std::size_t w = working.size();
+  Matrix kkt(n + w, n + w);
+  kkt.set_block(0, 0, h);
+  for (std::size_t k = 0; k < w; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = a(working[k], j);
+      kkt(n + k, j) = v;
+      kkt(j, n + k) = v;
+    }
+  }
+  Vector rhs(n + w);
+  for (std::size_t j = 0; j < n; ++j) rhs[j] = -g[j];
+
+  Lu lu(kkt);
+  if (!lu.invertible()) return false;
+  const Vector sol = lu.solve(rhs);
+  p = Vector(n);
+  lambda = Vector(w);
+  for (std::size_t j = 0; j < n; ++j) p[j] = sol[j];
+  for (std::size_t k = 0; k < w; ++k) lambda[k] = sol[n + k];
+  return true;
+}
+
+}  // namespace
+
+double max_violation(const Matrix& a, const Vector& b, const Vector& x) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) lhs += a(i, j) * x[j];
+    worst = std::max(worst, lhs - b[i]);
+  }
+  return worst;
+}
+
+Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
+                const Vector& b, const Vector* x0, const Options& opts) {
+  const std::size_t n = f.size();
+  EUCON_REQUIRE(h_in.rows() == n && h_in.cols() == n, "H size mismatch");
+  EUCON_REQUIRE(a.rows() == b.size(), "A/b size mismatch");
+  EUCON_REQUIRE(a.rows() == 0 || a.cols() == n, "A column count mismatch");
+
+  // Regularize H so every KKT system with independent rows is nonsingular.
+  Matrix h = h_in;
+  for (std::size_t i = 0; i < n; ++i) h(i, i) += opts.regularization;
+
+  Result res;
+  // Starting point.
+  if (x0 != nullptr) {
+    EUCON_REQUIRE(x0->size() == n, "x0 size mismatch");
+    EUCON_REQUIRE(max_violation(a, b, *x0) <= 1e2 * opts.constraint_tol + 1e-12,
+                  "x0 is not feasible");
+    res.x = *x0;
+  } else if (a.rows() == 0) {
+    res.x = Vector(n);
+  } else {
+    Result phase1 = find_feasible_point(a, b, opts);
+    if (phase1.status != Status::kOptimal) {
+      phase1.status = Status::kInfeasible;
+      return phase1;
+    }
+    res.x = phase1.x;
+  }
+
+  // Active-set iteration.
+  std::vector<std::size_t> working;  // indices of constraints held active
+  Vector p, lambda;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    const Vector g = h * res.x + f;
+    if (!solve_eqp(h, g, a, working, p, lambda)) {
+      // Dependent working set (can happen right after adding a blocking
+      // constraint parallel to existing ones): drop the newest member.
+      EUCON_ASSERT(!working.empty(), "singular KKT with empty working set");
+      working.pop_back();
+      continue;
+    }
+
+    if (p.norm_inf() <= opts.step_tol * (1.0 + res.x.norm_inf())) {
+      // Stationary on the working set: check multipliers.
+      int most_negative = -1;
+      double worst = -opts.multiplier_tol * (1.0 + lambda.norm_inf());
+      for (std::size_t k = 0; k < working.size(); ++k) {
+        if (lambda[k] < worst) {
+          worst = lambda[k];
+          most_negative = static_cast<int>(k);
+        }
+      }
+      if (most_negative < 0) {
+        res.status = Status::kOptimal;
+        res.objective = objective_value(h_in, f, res.x);
+        return res;
+      }
+      working.erase(working.begin() + most_negative);
+      continue;
+    }
+
+    // Line search toward x + p, blocked by inactive constraints.
+    double alpha = 1.0;
+    int blocking = -1;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (std::find(working.begin(), working.end(), i) != working.end())
+        continue;
+      double a_p = 0.0, a_x = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        a_p += a(i, j) * p[j];
+        a_x += a(i, j) * res.x[j];
+      }
+      if (a_p <= 1e-13) continue;  // moving away or parallel
+      const double room = std::max(0.0, b[i] - a_x);
+      const double step = room / a_p;
+      if (step < alpha) {
+        alpha = step;
+        blocking = static_cast<int>(i);
+      }
+    }
+
+    if (alpha > 0.0) res.x += alpha * p;
+    if (blocking >= 0) working.push_back(static_cast<std::size_t>(blocking));
+  }
+
+  res.status = Status::kMaxIterations;
+  res.objective = objective_value(h_in, f, res.x);
+  return res;
+}
+
+Result find_feasible_point(const Matrix& a, const Vector& b,
+                           const Options& opts) {
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  Result out;
+  if (m == 0) {
+    out.x = Vector(n);
+    out.status = Status::kOptimal;
+    return out;
+  }
+
+  // Auxiliary QP over z = [x; s]:
+  //   min 0.5*eps*||x||^2 + 0.5*||s||^2
+  //   s.t. A x - s <= b,  -s <= 0
+  // (x = 0, s_i = max(0, -b_i)) is always feasible; at the optimum s is the
+  // (least-squares) constraint violation, which is 0 iff Ax <= b is feasible.
+  const double eps = 1e-8;
+  Matrix h(n + m, n + m);
+  for (std::size_t j = 0; j < n; ++j) h(j, j) = eps;
+  for (std::size_t i = 0; i < m; ++i) h(n + i, n + i) = 1.0;
+  Vector f(n + m);
+
+  Matrix aa(2 * m, n + m);
+  Vector bb(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aa(i, j) = a(i, j);
+    aa(i, n + i) = -1.0;
+    bb[i] = b[i];
+    aa(m + i, n + i) = -1.0;
+    bb[m + i] = 0.0;
+  }
+  Vector z0(n + m);
+  for (std::size_t i = 0; i < m; ++i) z0[n + i] = std::max(0.0, -b[i]);
+
+  Options aux = opts;
+  aux.max_iterations = std::max(opts.max_iterations, 2000);
+  const Result aux_res = solve_qp(h, f, aa, bb, &z0, aux);
+
+  Vector x(n);
+  for (std::size_t j = 0; j < n; ++j) x[j] = aux_res.x[j];
+  out.x = x;
+  out.iterations = aux_res.iterations;
+  const double viol = max_violation(a, b, x);
+  // The auxiliary problem shrinks but never exactly zeroes tiny violations
+  // (eps-regularized); accept anything within a loose multiple of the
+  // feasibility tolerance.
+  out.status = viol <= 1e3 * opts.constraint_tol ? Status::kOptimal
+                                                 : Status::kInfeasible;
+  return out;
+}
+
+}  // namespace eucon::qp

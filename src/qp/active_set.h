@@ -1,0 +1,60 @@
+// Convex quadratic programming via the primal active-set method.
+//
+// Solves   min_x  0.5 x'Hx + f'x   subject to   A x <= b
+// with H symmetric positive semidefinite (a small diagonal regularization
+// keeps the KKT systems well posed). This is the same algorithm family
+// (active set, Gill–Murray–Wright) that MATLAB's lsqlin used at the time of
+// the paper.
+//
+// The working-set subproblems are solved through the full KKT system with
+// LU; problem sizes in EUCON are small (tens of variables/constraints), so
+// robustness is preferred over factorization updates.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace eucon::qp {
+
+struct Options {
+  int max_iterations = 1000;
+  double constraint_tol = 1e-9;   // feasibility tolerance on A x <= b
+  // Dual tolerance for optimality, relative to the multiplier magnitudes.
+  double multiplier_tol = 1e-8;
+  // A step p with ||p||_inf <= step_tol * (1 + ||x||_inf) counts as zero
+  // (KKT solves leave round-off noise in p at the optimum).
+  double step_tol = 1e-8;
+  double regularization = 1e-9;   // added to diag(H)
+};
+
+enum class Status {
+  kOptimal,        // KKT-optimal point found
+  kInfeasible,     // constraints have no solution (phase-1 failed)
+  kMaxIterations,  // iteration limit; x is the best feasible iterate
+};
+
+struct Result {
+  linalg::Vector x;
+  Status status = Status::kMaxIterations;
+  int iterations = 0;
+  double objective = 0.0;  // 0.5 x'Hx + f'x at the returned x
+};
+
+// Solves the QP. If `x0` is non-null it must be feasible (within
+// constraint_tol) and is used as the starting point; otherwise an internal
+// phase-1 problem computes a feasible start (or proves infeasibility).
+// A may have zero rows (unconstrained problem).
+Result solve_qp(const linalg::Matrix& h, const linalg::Vector& f,
+                const linalg::Matrix& a, const linalg::Vector& b,
+                const linalg::Vector* x0 = nullptr, const Options& opts = {});
+
+// Finds any x with A x <= b (phase-1). Status is kOptimal on success with
+// the point in `x`, kInfeasible otherwise.
+Result find_feasible_point(const linalg::Matrix& a, const linalg::Vector& b,
+                           const Options& opts = {});
+
+// Maximum violation max_i (a_i x - b_i), or 0 when A has no rows.
+double max_violation(const linalg::Matrix& a, const linalg::Vector& b,
+                     const linalg::Vector& x);
+
+}  // namespace eucon::qp

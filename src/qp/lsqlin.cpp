@@ -1,0 +1,61 @@
+#include "qp/lsqlin.h"
+
+#include "common/check.h"
+
+namespace eucon::qp {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+LsqlinResult lsqlin(const LsqlinProblem& prob, const Vector* x0,
+                    const Options& opts) {
+  const std::size_t n = prob.c.cols();
+  EUCON_REQUIRE(prob.c.rows() == prob.d.size(), "lsqlin: C/d size mismatch");
+  EUCON_REQUIRE(prob.lb.empty() || prob.lb.size() == n, "lsqlin: lb size");
+  EUCON_REQUIRE(prob.ub.empty() || prob.ub.size() == n, "lsqlin: ub size");
+
+  // 0.5 x'Hx + f'x with H = 2 C'C, f = -2 C'd reproduces ||Cx-d||^2 up to
+  // the constant d'd.
+  Matrix h = linalg::gram(prob.c);
+  h *= 2.0;
+  Vector f = linalg::transpose_times(prob.c, prob.d);
+  f *= -2.0;
+
+  // Fold the box constraints into the inequality system.
+  std::size_t extra = 0;
+  if (!prob.lb.empty()) extra += n;
+  if (!prob.ub.empty()) extra += n;
+  Matrix a(prob.a.rows() + extra, n);
+  Vector b(prob.a.rows() + extra);
+  if (prob.a.rows() > 0) {
+    EUCON_REQUIRE(prob.a.cols() == n, "lsqlin: A column mismatch");
+    a.set_block(0, 0, prob.a);
+    for (std::size_t i = 0; i < prob.a.rows(); ++i) b[i] = prob.b[i];
+  }
+  std::size_t row = prob.a.rows();
+  if (!prob.ub.empty()) {
+    for (std::size_t j = 0; j < n; ++j, ++row) {
+      a(row, j) = 1.0;
+      b[row] = prob.ub[j];
+    }
+  }
+  if (!prob.lb.empty()) {
+    for (std::size_t j = 0; j < n; ++j, ++row) {
+      a(row, j) = -1.0;
+      b[row] = -prob.lb[j];
+    }
+  }
+
+  const Result qp_res = solve_qp(h, f, a, b, x0, opts);
+  LsqlinResult out;
+  out.x = qp_res.x;
+  out.status = qp_res.status;
+  out.iterations = qp_res.iterations;
+  if (!out.x.empty()) {
+    const Vector r = prob.c * out.x - prob.d;
+    out.residual_norm = r.norm2();
+  }
+  return out;
+}
+
+}  // namespace eucon::qp

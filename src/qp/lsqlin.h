@@ -1,0 +1,36 @@
+// Constrained linear least squares, MATLAB-lsqlin style:
+//
+//   min_x ||C x - d||_2^2   subject to   A x <= b,  lb <= x <= ub.
+//
+// This is the solver the EUCON controller calls every sampling period (the
+// paper uses MATLAB's lsqlin; this is our from-scratch replacement built on
+// the active-set QP).
+#pragma once
+
+#include "qp/active_set.h"
+
+namespace eucon::qp {
+
+struct LsqlinProblem {
+  linalg::Matrix c;
+  linalg::Vector d;
+  linalg::Matrix a;   // may have 0 rows
+  linalg::Vector b;
+  linalg::Vector lb;  // empty = unbounded below
+  linalg::Vector ub;  // empty = unbounded above
+};
+
+struct LsqlinResult {
+  linalg::Vector x;
+  Status status = Status::kMaxIterations;
+  int iterations = 0;
+  double residual_norm = 0.0;  // ||C x - d||_2 at the solution
+};
+
+// Solves the problem. `x0`, when given, must satisfy all constraints and is
+// used as the active-set starting point.
+LsqlinResult lsqlin(const LsqlinProblem& prob,
+                    const linalg::Vector* x0 = nullptr,
+                    const Options& opts = {});
+
+}  // namespace eucon::qp

@@ -1,0 +1,84 @@
+#include "rts/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eucon::rts {
+
+double liu_layland_bound(int n) {
+  EUCON_REQUIRE(n >= 1, "bound needs at least one task");
+  const double nn = n;
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+double total_utilization(const std::vector<PeriodicLoad>& loads) {
+  double u = 0.0;
+  for (const auto& l : loads) {
+    EUCON_REQUIRE(l.exec > 0.0 && l.period > 0.0, "loads must be positive");
+    u += l.exec / l.period;
+  }
+  return u;
+}
+
+bool hyperbolic_check(const std::vector<PeriodicLoad>& loads) {
+  double prod = 1.0;
+  for (const auto& l : loads) {
+    EUCON_REQUIRE(l.exec > 0.0 && l.period > 0.0, "loads must be positive");
+    prod *= l.exec / l.period + 1.0;
+  }
+  return prod <= 2.0 + 1e-12;
+}
+
+bool edf_schedulable(const std::vector<PeriodicLoad>& loads) {
+  return total_utilization(loads) <= 1.0 + 1e-12;
+}
+
+std::vector<std::optional<double>> rms_response_times(
+    const std::vector<PeriodicLoad>& loads) {
+  const std::size_t n = loads.size();
+  // Priority order: shorter period first; stable to keep input order among
+  // equals (matching the simulator's task-id tie-break for equal periods).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return loads[a].period < loads[b].period;
+                   });
+
+  std::vector<std::optional<double>> result(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const PeriodicLoad& me = loads[order[rank]];
+    EUCON_REQUIRE(me.exec > 0.0 && me.period > 0.0, "loads must be positive");
+    // Fixed-point iteration: R = C + sum_{hp} ceil(R / T_j) C_j.
+    double r = me.exec;
+    for (int iter = 0; iter < 1000; ++iter) {
+      double next = me.exec;
+      for (std::size_t h = 0; h < rank; ++h) {
+        const PeriodicLoad& hp = loads[order[h]];
+        next += std::ceil(r / hp.period - 1e-12) * hp.exec;
+      }
+      if (next > me.period + 1e-9) {
+        r = -1.0;  // unschedulable
+        break;
+      }
+      if (std::abs(next - r) < 1e-9) {
+        r = next;
+        break;
+      }
+      r = next;
+    }
+    if (r >= 0.0) result[order[rank]] = r;
+  }
+  return result;
+}
+
+bool rms_schedulable(const std::vector<PeriodicLoad>& loads) {
+  for (const auto& r : rms_response_times(loads))
+    if (!r.has_value()) return false;
+  return true;
+}
+
+}  // namespace eucon::rts

@@ -1,0 +1,48 @@
+// Classical fixed-priority schedulability analysis, used to cross-check
+// the simulator against theory and to pick utilization set points.
+//
+// The paper's end-to-end scheduling approach (§3.3) guarantees subtask
+// deadlines by keeping each processor under a schedulable utilization
+// bound; this module provides those bounds (Liu–Layland, the hyperbolic
+// refinement, EDF) and exact worst-case response-time analysis (RTA) for
+// synchronous periodic task sets under preemptive fixed-priority
+// scheduling.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace eucon::rts {
+
+// One priority-ordered periodic "job source" on one processor: execution
+// time and period in the same (arbitrary) unit, deadline = period.
+struct PeriodicLoad {
+  double exec = 0.0;
+  double period = 0.0;
+};
+
+// Liu–Layland bound n(2^{1/n} - 1) (paper eq. 13).
+double liu_layland_bound(int n);
+
+// Hyperbolic bound (Bini–Buttazzo): the set is RMS-schedulable if
+// prod(U_i + 1) <= 2. Sharper than Liu–Layland.
+bool hyperbolic_check(const std::vector<PeriodicLoad>& loads);
+
+// Total utilization of a load set.
+double total_utilization(const std::vector<PeriodicLoad>& loads);
+
+// EDF: schedulable iff total utilization <= 1 (implicit deadlines).
+bool edf_schedulable(const std::vector<PeriodicLoad>& loads);
+
+// Exact RTA for preemptive rate-monotonic fixed priorities (deadline =
+// period): worst-case response time of each load, or nullopt if the
+// iteration exceeds the period (that load is unschedulable).
+// Loads may be passed in any order; RMS priorities (shorter period first,
+// FIFO between equal periods in input order) are applied internally.
+std::vector<std::optional<double>> rms_response_times(
+    const std::vector<PeriodicLoad>& loads);
+
+// True when every load's worst-case response time fits in its period.
+bool rms_schedulable(const std::vector<PeriodicLoad>& loads);
+
+}  // namespace eucon::rts

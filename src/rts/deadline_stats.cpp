@@ -1,0 +1,53 @@
+#include "rts/deadline_stats.h"
+
+#include "common/check.h"
+
+namespace eucon::rts {
+
+void DeadlineStats::on_instance_released(int task) {
+  ++per_task_.at(static_cast<std::size_t>(task)).instances_released;
+}
+
+void DeadlineStats::on_subtask_completed(int task, Ticks completion,
+                                         Ticks sub_deadline) {
+  auto& c = per_task_.at(static_cast<std::size_t>(task));
+  ++c.subtask_jobs_completed;
+  if (completion > sub_deadline) ++c.subtask_misses;
+}
+
+void DeadlineStats::on_instance_completed(int task, Ticks completion,
+                                          Ticks abs_deadline,
+                                          Ticks instance_release) {
+  auto& c = per_task_.at(static_cast<std::size_t>(task));
+  ++c.instances_completed;
+  if (completion > abs_deadline) ++c.e2e_misses;
+  c.response_time_units.add(ticks_to_units(completion - instance_release));
+}
+
+double DeadlineStats::e2e_miss_ratio() const {
+  std::uint64_t completed = 0, missed = 0;
+  for (const auto& c : per_task_) {
+    completed += c.instances_completed;
+    missed += c.e2e_misses;
+  }
+  return completed ? static_cast<double>(missed) / static_cast<double>(completed)
+                   : 0.0;
+}
+
+double DeadlineStats::subtask_miss_ratio() const {
+  std::uint64_t completed = 0, missed = 0;
+  for (const auto& c : per_task_) {
+    completed += c.subtask_jobs_completed;
+    missed += c.subtask_misses;
+  }
+  return completed ? static_cast<double>(missed) / static_cast<double>(completed)
+                   : 0.0;
+}
+
+std::uint64_t DeadlineStats::total_completed_instances() const {
+  std::uint64_t completed = 0;
+  for (const auto& c : per_task_) completed += c.instances_completed;
+  return completed;
+}
+
+}  // namespace eucon::rts

@@ -1,0 +1,48 @@
+// Deadline accounting for end-to-end tasks (soft deadlines, paper §3.1).
+//
+// Each task instance carries an end-to-end deadline d_i = n_i / r_i(at
+// release); each subtask job carries a subdeadline equal to its period
+// (paper §7.1's even deadline division). Deadlines are soft: misses are
+// counted, never enforced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/ticks.h"
+
+namespace eucon::rts {
+
+struct TaskDeadlineCounters {
+  std::uint64_t instances_released = 0;
+  std::uint64_t instances_completed = 0;
+  std::uint64_t e2e_misses = 0;
+  std::uint64_t subtask_jobs_completed = 0;
+  std::uint64_t subtask_misses = 0;
+  RunningStats response_time_units;  // end-to-end response times
+};
+
+class DeadlineStats {
+ public:
+  explicit DeadlineStats(std::size_t num_tasks) : per_task_(num_tasks) {}
+
+  void on_instance_released(int task);
+  void on_subtask_completed(int task, Ticks completion, Ticks sub_deadline);
+  void on_instance_completed(int task, Ticks completion, Ticks abs_deadline,
+                             Ticks instance_release);
+
+  const TaskDeadlineCounters& task(std::size_t i) const { return per_task_[i]; }
+  std::size_t num_tasks() const { return per_task_.size(); }
+
+  // Fraction of completed instances that missed their end-to-end deadline
+  // (0 when nothing completed).
+  double e2e_miss_ratio() const;
+  double subtask_miss_ratio() const;
+  std::uint64_t total_completed_instances() const;
+
+ private:
+  std::vector<TaskDeadlineCounters> per_task_;
+};
+
+}  // namespace eucon::rts

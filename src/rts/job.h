@@ -1,0 +1,32 @@
+// A job: one invocation of one subtask.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ticks.h"
+
+namespace eucon::rts {
+
+struct Job {
+  std::uint64_t id = 0;
+  int task = 0;
+  int subtask = 0;             // index within the task's chain
+  std::uint64_t instance = 0;  // task-instance number (shared along the chain)
+
+  Ticks instance_release = 0;  // release time of the instance's first subtask
+  Ticks abs_deadline = 0;      // end-to-end absolute deadline of the instance
+  Ticks sub_deadline = 0;      // this subtask's absolute subdeadline
+  Ticks release_time = 0;
+
+  Ticks exec_total = 0;  // sampled actual execution demand
+  Ticks remaining = 0;   // demand not yet executed
+
+  // Scheduling state (maintained by the Processor).
+  // RMS: the task's current period. EDF: the absolute subdeadline.
+  // Smaller = higher priority in both cases.
+  Ticks priority_key = 0;
+  std::uint64_t enqueue_seq = 0;  // FIFO tie-break within equal priorities
+  bool started = false;           // has executed at least once (trace labels)
+};
+
+}  // namespace eucon::rts

@@ -1,0 +1,118 @@
+#include "rts/processor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::rts {
+
+bool Processor::ByPriority::operator()(const Job* a, const Job* b) const {
+  if (a->priority_key != b->priority_key) return a->priority_key > b->priority_key;
+  if (a->task != b->task) return a->task > b->task;
+  if (a->subtask != b->subtask) return a->subtask > b->subtask;
+  return a->enqueue_seq > b->enqueue_seq;
+}
+
+Processor::Processor(int id, EventQueue* queue, TraceLog* trace)
+    : id_(id), queue_(queue), trace_(trace) {
+  EUCON_REQUIRE(queue != nullptr, "processor needs an event queue");
+}
+
+void Processor::trace_event(TraceKind kind, const Job& job, Ticks now) {
+  if (trace_ == nullptr) return;
+  TraceRecord rec;
+  rec.time = now;
+  rec.kind = kind;
+  rec.job_id = job.id;
+  rec.task = job.task;
+  rec.subtask = job.subtask;
+  rec.processor = id_;
+  trace_->record(rec);
+}
+
+void Processor::account_until(Ticks now) {
+  EUCON_ASSERT(now >= last_account_, "time moved backwards in accounting");
+  if (running_ != nullptr) {
+    const Ticks executed = std::min(now - last_account_, running_->remaining);
+    running_->remaining -= executed;
+    window_busy_ += executed;
+    total_busy_ += executed;
+  }
+  last_account_ = now;
+}
+
+Ticks Processor::take_window_busy() {
+  const Ticks busy = window_busy_;
+  window_busy_ = 0;
+  return busy;
+}
+
+void Processor::schedule_completion(Ticks now) {
+  Event e;
+  e.time = now + running_->remaining;
+  e.kind = EventKind::kCompletion;
+  e.processor = id_;
+  e.gen = ++gen_;
+  queue_->push(e);
+}
+
+void Processor::dispatch(Ticks now) {
+  // A running job with no demand left has finished *at this instant*; its
+  // completion event (same tick, scheduled with the current generation) is
+  // still pending in the queue. Leave it in place so completion is recorded
+  // at the true finish time instead of preempting a finished job.
+  if (running_ != nullptr && running_->remaining == 0) return;
+
+  // Preempt only on *strictly* higher priority: within an equal priority
+  // level the scheduler is non-preemptive (the tie-break keys order the
+  // ready queue but never evict a running job).
+  if (running_ != nullptr && !ready_.empty() &&
+      ready_.front()->priority_key < running_->priority_key) {
+    trace_event(TraceKind::kPreempt, *running_, now);
+    ready_.push_back(running_);
+    std::push_heap(ready_.begin(), ready_.end(), ByPriority{});
+    running_ = nullptr;
+  }
+  if (running_ == nullptr && !ready_.empty()) {
+    std::pop_heap(ready_.begin(), ready_.end(), ByPriority{});
+    running_ = ready_.back();
+    ready_.pop_back();
+    trace_event(running_->started ? TraceKind::kResume : TraceKind::kStart,
+                *running_, now);
+    running_->started = true;
+    schedule_completion(now);
+  }
+}
+
+void Processor::enqueue(Job* job, Ticks now) {
+  EUCON_REQUIRE(job != nullptr && job->remaining > 0, "enqueue needs a live job");
+  account_until(now);
+  job->enqueue_seq = next_enqueue_seq_++;
+  trace_event(TraceKind::kRelease, *job, now);
+  ready_.push_back(job);
+  std::push_heap(ready_.begin(), ready_.end(), ByPriority{});
+  dispatch(now);
+}
+
+Job* Processor::on_completion_event(std::uint64_t gen, Ticks now) {
+  if (gen != gen_ || running_ == nullptr) return nullptr;  // stale
+  account_until(now);
+  EUCON_ASSERT(running_->remaining == 0,
+               "current completion event fired before the job finished");
+  Job* done = running_;
+  trace_event(TraceKind::kCompletion, *done, now);
+  running_ = nullptr;
+  dispatch(now);
+  return done;
+}
+
+void Processor::reprioritize(const std::function<Ticks(const Job&)>& key,
+                             Ticks now) {
+  account_until(now);
+  for (Job* j : ready_) j->priority_key = key(*j);
+  std::make_heap(ready_.begin(), ready_.end(), ByPriority{});
+  if (running_ != nullptr) running_->priority_key = key(*running_);
+  dispatch(now);
+}
+
+}  // namespace eucon::rts

@@ -1,0 +1,79 @@
+// A single processor with a preemptive fixed-priority (RMS) scheduler and
+// exact busy-time accounting.
+//
+// Priorities are rate monotonic: a job's priority key is its task's current
+// period in ticks (smaller period = higher priority). Keys are snapshots;
+// when the rate modulator changes task rates the simulator calls
+// reprioritize() to refresh every queued job and re-evaluate preemption.
+//
+// Completion events are scheduled optimistically and validated by a
+// generation counter: whenever a (new) job starts or resumes, a completion
+// event carrying the current generation is emitted; any previously emitted
+// event becomes stale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ticks.h"
+#include "rts/event.h"
+#include "rts/job.h"
+#include "rts/trace.h"
+
+namespace eucon::rts {
+
+class Processor {
+ public:
+  // `trace` may be null (tracing disabled).
+  Processor(int id, EventQueue* queue, TraceLog* trace = nullptr);
+
+  // Adds a released job to the ready set, preempting if it outranks the
+  // running job. The caller retains ownership of the job.
+  void enqueue(Job* job, Ticks now);
+
+  // Handles a completion event. Returns the completed job when the event is
+  // current and the running job has exhausted its demand, nullptr when the
+  // event is stale.
+  Job* on_completion_event(std::uint64_t gen, Ticks now);
+
+  // Refreshes every queued job's priority key via `key` and re-evaluates
+  // preemption (called after a rate change).
+  void reprioritize(const std::function<Ticks(const Job&)>& key, Ticks now);
+
+  // Advances busy-time accounting up to `now` (idempotent).
+  void account_until(Ticks now);
+
+  // Busy ticks accumulated since the previous call (the utilization monitor
+  // reads this once per sampling period). Callers should account_until()
+  // the window edge first.
+  Ticks take_window_busy();
+
+  bool busy() const { return running_ != nullptr; }
+  std::size_t ready_count() const { return ready_.size(); }
+  Ticks total_busy() const { return total_busy_; }
+  int id() const { return id_; }
+
+ private:
+  struct ByPriority {
+    // Min-heap: true when a ranks *after* b.
+    bool operator()(const Job* a, const Job* b) const;
+  };
+
+  void dispatch(Ticks now);
+  void schedule_completion(Ticks now);
+  void trace_event(TraceKind kind, const Job& job, Ticks now);
+
+  int id_;
+  EventQueue* queue_;
+  TraceLog* trace_;
+  std::vector<Job*> ready_;  // heap (ByPriority)
+  Job* running_ = nullptr;
+  Ticks last_account_ = 0;
+  Ticks window_busy_ = 0;
+  Ticks total_busy_ = 0;
+  std::uint64_t gen_ = 0;
+  std::uint64_t next_enqueue_seq_ = 0;
+};
+
+}  // namespace eucon::rts

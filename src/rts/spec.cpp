@@ -1,0 +1,77 @@
+#include "rts/spec.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eucon::rts {
+
+void SystemSpec::validate() const {
+  EUCON_REQUIRE(num_processors > 0, "system needs at least one processor");
+  EUCON_REQUIRE(!tasks.empty(), "system needs at least one task");
+  for (const auto& t : tasks) {
+    EUCON_REQUIRE(!t.subtasks.empty(), "task '" + t.name + "' has no subtasks");
+    EUCON_REQUIRE(t.rate_min > 0.0, "task '" + t.name + "' needs rate_min > 0");
+    EUCON_REQUIRE(t.rate_max >= t.rate_min,
+                  "task '" + t.name + "' has rate_max < rate_min");
+    EUCON_REQUIRE(t.initial_rate >= t.rate_min && t.initial_rate <= t.rate_max,
+                  "task '" + t.name + "' initial rate outside [rate_min, rate_max]");
+    for (const auto& s : t.subtasks) {
+      EUCON_REQUIRE(s.processor >= 0 && s.processor < num_processors,
+                    "task '" + t.name + "' subtask on unknown processor");
+      EUCON_REQUIRE(s.estimated_exec > 0.0,
+                    "task '" + t.name + "' subtask needs estimated_exec > 0");
+    }
+  }
+}
+
+std::size_t SystemSpec::num_subtasks() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks) n += t.subtasks.size();
+  return n;
+}
+
+std::vector<int> SystemSpec::subtasks_per_processor() const {
+  std::vector<int> counts(static_cast<std::size_t>(num_processors), 0);
+  for (const auto& t : tasks)
+    for (const auto& s : t.subtasks) ++counts[static_cast<std::size_t>(s.processor)];
+  return counts;
+}
+
+linalg::Matrix SystemSpec::allocation_matrix() const {
+  linalg::Matrix f(static_cast<std::size_t>(num_processors), tasks.size());
+  for (std::size_t j = 0; j < tasks.size(); ++j)
+    for (const auto& s : tasks[j].subtasks)
+      f(static_cast<std::size_t>(s.processor), j) += s.estimated_exec;
+  return f;
+}
+
+linalg::Vector SystemSpec::liu_layland_set_points() const {
+  const auto counts = subtasks_per_processor();
+  linalg::Vector b(counts.size());
+  for (std::size_t p = 0; p < counts.size(); ++p) {
+    const double m = counts[p];
+    b[p] = counts[p] == 0 ? 1.0 : m * (std::pow(2.0, 1.0 / m) - 1.0);
+  }
+  return b;
+}
+
+linalg::Vector SystemSpec::rate_min_vector() const {
+  linalg::Vector v(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) v[i] = tasks[i].rate_min;
+  return v;
+}
+
+linalg::Vector SystemSpec::rate_max_vector() const {
+  linalg::Vector v(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) v[i] = tasks[i].rate_max;
+  return v;
+}
+
+linalg::Vector SystemSpec::initial_rate_vector() const {
+  linalg::Vector v(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) v[i] = tasks[i].initial_rate;
+  return v;
+}
+
+}  // namespace eucon::rts

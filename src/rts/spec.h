@@ -1,0 +1,58 @@
+// The flexible end-to-end task model of the paper (§3.1).
+//
+// A system is m periodic end-to-end tasks on n processors. Task T_i is a
+// chain of subtasks T_i1 … T_in_i, each allocated to a processor, with
+// precedence between consecutive subtasks. All subtasks of a task run at
+// the task's (adjustable) rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace eucon::rts {
+
+struct SubtaskSpec {
+  int processor = 0;            // index of the hosting processor
+  double estimated_exec = 0.0;  // c_ij, design-time estimate in time units
+};
+
+struct TaskSpec {
+  std::string name;
+  std::vector<SubtaskSpec> subtasks;  // the chain, in precedence order
+  double rate_min = 0.0;              // R_min,i (invocations per time unit)
+  double rate_max = 0.0;              // R_max,i
+  double initial_rate = 0.0;          // r_i(0)
+};
+
+struct SystemSpec {
+  int num_processors = 0;
+  std::vector<TaskSpec> tasks;
+
+  // Throws std::invalid_argument when the spec is malformed (empty chains,
+  // processor indices out of range, inverted or out-of-range rate bounds,
+  // non-positive execution times).
+  void validate() const;
+
+  std::size_t num_tasks() const { return tasks.size(); }
+  std::size_t num_subtasks() const;
+  std::vector<int> subtasks_per_processor() const;
+
+  // The subtask allocation matrix F (paper eq. 6): n×m, with
+  // f_pj = sum of estimated execution times of task j's subtasks on
+  // processor p (a task may visit a processor more than once).
+  linalg::Matrix allocation_matrix() const;
+
+  // Per-processor RMS schedulable utilization bound (paper eq. 13):
+  // B_p = m_p (2^{1/m_p} - 1) where m_p is the subtask count on P_p.
+  // Processors hosting no subtask get bound 1.0.
+  linalg::Vector liu_layland_set_points() const;
+
+  linalg::Vector rate_min_vector() const;
+  linalg::Vector rate_max_vector() const;
+  linalg::Vector initial_rate_vector() const;
+};
+
+}  // namespace eucon::rts

@@ -1,0 +1,119 @@
+#include "rts/spec_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace eucon::rts {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::invalid_argument("spec parse error at line " +
+                              std::to_string(line) + ": " + what);
+}
+
+double parse_positive(const std::string& token, int line, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    parse_error(line, std::string("expected a number for ") + what);
+  }
+  if (consumed != token.size() || value <= 0.0)
+    parse_error(line, std::string("expected a positive number for ") + what);
+  return value;
+}
+
+}  // namespace
+
+SystemSpec load_spec(std::istream& in) {
+  SystemSpec spec;
+  bool have_processors = false;
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    if (keyword == "processors") {
+      std::string count;
+      if (!(tokens >> count)) parse_error(line_no, "processors needs a count");
+      spec.num_processors =
+          static_cast<int>(parse_positive(count, line_no, "processor count"));
+      have_processors = true;
+    } else if (keyword == "task") {
+      TaskSpec task;
+      if (!(tokens >> task.name)) parse_error(line_no, "task needs a name");
+      double max_period = 0.0, min_period = 0.0, initial_period = 0.0;
+      std::string key, value;
+      while (tokens >> key >> value) {
+        if (key == "max_period")
+          max_period = parse_positive(value, line_no, "max_period");
+        else if (key == "min_period")
+          min_period = parse_positive(value, line_no, "min_period");
+        else if (key == "initial_period")
+          initial_period = parse_positive(value, line_no, "initial_period");
+        else
+          parse_error(line_no, "unknown task attribute '" + key + "'");
+      }
+      if (max_period == 0.0 || min_period == 0.0 || initial_period == 0.0)
+        parse_error(line_no,
+                    "task needs max_period, min_period and initial_period");
+      task.rate_min = 1.0 / max_period;
+      task.rate_max = 1.0 / min_period;
+      task.initial_rate = 1.0 / initial_period;
+      spec.tasks.push_back(std::move(task));
+    } else if (keyword == "subtask") {
+      if (spec.tasks.empty())
+        parse_error(line_no, "subtask before any task");
+      std::string proc, exec;
+      if (!(tokens >> proc >> exec))
+        parse_error(line_no, "subtask needs <processor> <execution time>");
+      SubtaskSpec sub;
+      try {
+        sub.processor = std::stoi(proc);
+      } catch (const std::exception&) {
+        parse_error(line_no, "bad processor index");
+      }
+      sub.estimated_exec = parse_positive(exec, line_no, "execution time");
+      spec.tasks.back().subtasks.push_back(sub);
+    } else {
+      parse_error(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!have_processors)
+    throw std::invalid_argument("spec parse error: missing 'processors' line");
+  spec.validate();
+  return spec;
+}
+
+SystemSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  EUCON_REQUIRE(in.good(), "cannot open spec file: " + path);
+  return load_spec(in);
+}
+
+void save_spec(const SystemSpec& spec, std::ostream& out) {
+  spec.validate();
+  out << "processors " << spec.num_processors << "\n";
+  for (const auto& task : spec.tasks) {
+    out << "task " << task.name << " max_period " << 1.0 / task.rate_min
+        << " min_period " << 1.0 / task.rate_max << " initial_period "
+        << 1.0 / task.initial_rate << "\n";
+    for (const auto& sub : task.subtasks)
+      out << "  subtask " << sub.processor << " " << sub.estimated_exec
+          << "\n";
+  }
+}
+
+}  // namespace eucon::rts

@@ -1,0 +1,32 @@
+// Plain-text task-set format: load and save SystemSpec.
+//
+// The format mirrors the paper's Table 1 (periods rather than rates):
+//
+//   # comment / blank lines ignored
+//   processors 2
+//   task T1 max_period 700 min_period 35 initial_period 60
+//     subtask 0 35
+//   task T2 max_period 700 min_period 35 initial_period 90
+//     subtask 0 35
+//     subtask 1 35
+//
+// `max_period` = 1/R_min, `min_period` = 1/R_max, `initial_period` =
+// 1/r(0); `subtask <processor-index> <estimated execution time>` lines
+// belong to the most recent task. The loader validates the result and
+// throws std::invalid_argument with a line number on malformed input.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "rts/spec.h"
+
+namespace eucon::rts {
+
+SystemSpec load_spec(std::istream& in);
+SystemSpec load_spec_file(const std::string& path);
+
+void save_spec(const SystemSpec& spec, std::ostream& out);
+
+}  // namespace eucon::rts

@@ -1,0 +1,90 @@
+#include "rts/trace.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace eucon::rts {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRelease:
+      return "release";
+    case TraceKind::kStart:
+      return "start";
+    case TraceKind::kPreempt:
+      return "preempt";
+    case TraceKind::kResume:
+      return "resume";
+    case TraceKind::kCompletion:
+      return "completion";
+  }
+  return "?";
+}
+
+void write_trace_csv(const TraceLog& log, std::ostream& out) {
+  CsvWriter w(out);
+  w.write_header({"time_units", "kind", "job", "task", "subtask", "processor"});
+  for (const auto& r : log.records()) {
+    w.write_cells({CsvWriter::format_double(ticks_to_units(r.time)),
+                   trace_kind_name(r.kind), std::to_string(r.job_id),
+                   std::to_string(r.task), std::to_string(r.subtask),
+                   std::to_string(r.processor)});
+  }
+}
+
+void write_slices_csv(const std::vector<ExecutionSlice>& slices,
+                      std::ostream& out) {
+  CsvWriter w(out);
+  w.write_header({"processor", "task", "subtask", "job", "begin_units",
+                  "end_units"});
+  for (const auto& s : slices) {
+    w.write_cells({std::to_string(s.processor), std::to_string(s.task),
+                   std::to_string(s.subtask), std::to_string(s.job_id),
+                   CsvWriter::format_double(ticks_to_units(s.begin)),
+                   CsvWriter::format_double(ticks_to_units(s.end))});
+  }
+}
+
+std::vector<ExecutionSlice> reconstruct_slices(const TraceLog& log) {
+  std::vector<ExecutionSlice> slices;
+  // job id -> the running slice opened by kStart/kResume.
+  std::unordered_map<std::uint64_t, ExecutionSlice> open;
+
+  for (const auto& rec : log.records()) {
+    switch (rec.kind) {
+      case TraceKind::kRelease:
+        break;
+      case TraceKind::kStart:
+      case TraceKind::kResume: {
+        EUCON_REQUIRE(open.find(rec.job_id) == open.end(),
+                      "trace: job started while already running");
+        ExecutionSlice s;
+        s.begin = rec.time;
+        s.job_id = rec.job_id;
+        s.task = rec.task;
+        s.subtask = rec.subtask;
+        s.processor = rec.processor;
+        open.emplace(rec.job_id, s);
+        break;
+      }
+      case TraceKind::kPreempt:
+      case TraceKind::kCompletion: {
+        auto it = open.find(rec.job_id);
+        EUCON_REQUIRE(it != open.end(),
+                      "trace: job stopped without a matching start");
+        ExecutionSlice s = it->second;
+        open.erase(it);
+        s.end = rec.time;
+        EUCON_REQUIRE(s.end >= s.begin, "trace: negative slice");
+        if (s.end > s.begin) slices.push_back(s);
+        break;
+      }
+    }
+  }
+  EUCON_REQUIRE(open.empty(), "trace: jobs still running at end of trace");
+  return slices;
+}
+
+}  // namespace eucon::rts

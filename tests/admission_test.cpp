@@ -1,0 +1,163 @@
+#include "control/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/experiment.h"
+#include "eucon/metrics.h"
+#include "eucon/workloads.h"
+
+namespace eucon::control {
+namespace {
+
+using linalg::Vector;
+
+PlantModel simple_model() { return make_plant_model(workloads::simple()); }
+
+TEST(AdmissionGovernorTest, StartsWithAllEnabled) {
+  AdmissionGovernor gov(simple_model(), AdmissionParams{});
+  EXPECT_EQ(gov.num_suspended(), 0u);
+  for (bool e : gov.enabled()) EXPECT_TRUE(e);
+}
+
+TEST(AdmissionGovernorTest, NoActionWhileRatesHaveSlack) {
+  const PlantModel model = simple_model();
+  AdmissionGovernor gov(model, AdmissionParams{});
+  // Overloaded, but rates are mid-range: rate adaptation should handle it.
+  const Vector u{1.0, 1.0};
+  const Vector rates = workloads::simple().initial_rate_vector();
+  for (int k = 0; k < 50; ++k) gov.update(u, rates);
+  EXPECT_EQ(gov.num_suspended(), 0u);
+}
+
+TEST(AdmissionGovernorTest, SuspendsWhenSaturatedOverloadPersists) {
+  const PlantModel model = simple_model();
+  AdmissionParams params;
+  params.patience = 5;
+  AdmissionGovernor gov(model, params);
+  const Vector u{1.0, 1.0};
+  const Vector rates = model.rate_min;  // rate adaptation exhausted
+  for (int k = 0; k < 4; ++k) {
+    gov.update(u, rates);
+    EXPECT_EQ(gov.num_suspended(), 0u) << "before patience expires";
+  }
+  gov.update(u, rates);
+  EXPECT_EQ(gov.num_suspended(), 1u);
+  // Default values: later tasks are less important -> T3 suspended first.
+  EXPECT_TRUE(gov.enabled()[0]);
+  EXPECT_TRUE(gov.enabled()[1]);
+  EXPECT_FALSE(gov.enabled()[2]);
+}
+
+TEST(AdmissionGovernorTest, CooldownSpacesSuspensions) {
+  const PlantModel model = simple_model();
+  AdmissionParams params;
+  params.patience = 1;
+  params.cooldown = 10;
+  AdmissionGovernor gov(model, params);
+  const Vector u{1.0, 1.0};
+  const Vector rates = model.rate_min;
+  int suspended_after_15 = 0;
+  for (int k = 0; k < 15; ++k) {
+    gov.update(u, rates);
+    suspended_after_15 = static_cast<int>(gov.num_suspended());
+  }
+  EXPECT_LE(suspended_after_15, 2);  // at most one action per 10 periods
+}
+
+TEST(AdmissionGovernorTest, NeverSuspendsLastTask) {
+  const PlantModel model = simple_model();
+  AdmissionParams params;
+  params.patience = 1;
+  params.cooldown = 0;
+  AdmissionGovernor gov(model, params);
+  const Vector u{1.0, 1.0};
+  const Vector rates = model.rate_min;
+  for (int k = 0; k < 100; ++k) gov.update(u, rates);
+  EXPECT_LT(gov.num_suspended(), model.num_tasks());
+}
+
+TEST(AdmissionGovernorTest, ReadmitsWhenHeadroomReturns) {
+  const PlantModel model = simple_model();
+  AdmissionParams params;
+  params.patience = 1;
+  params.cooldown = 0;
+  AdmissionGovernor gov(model, params);
+  const Vector rates = model.rate_min;
+  gov.update(Vector{1.0, 1.0}, rates);  // suspend one
+  ASSERT_EQ(gov.num_suspended(), 1u);
+  // Deep underload: estimated load of the candidate at R_min fits.
+  gov.update(Vector{0.2, 0.2}, rates);
+  EXPECT_EQ(gov.num_suspended(), 0u);
+  EXPECT_EQ(gov.readmissions(), 1u);
+}
+
+TEST(AdmissionGovernorTest, RespectsTaskValues) {
+  const PlantModel model = simple_model();
+  AdmissionParams params;
+  params.patience = 1;
+  params.cooldown = 0;
+  params.task_values = {0.1, 5.0, 3.0};  // T1 least valuable
+  AdmissionGovernor gov(model, params);
+  gov.update(Vector{1.0, 1.0}, model.rate_min);
+  EXPECT_FALSE(gov.enabled()[0]);
+  EXPECT_TRUE(gov.enabled()[1]);
+  EXPECT_TRUE(gov.enabled()[2]);
+}
+
+TEST(AdmissionGovernorTest, RejectsBadParams) {
+  AdmissionParams params;
+  params.patience = 0;
+  EXPECT_THROW(AdmissionGovernor(simple_model(), params),
+               std::invalid_argument);
+  params = AdmissionParams{};
+  params.task_values = {1.0};  // wrong size
+  EXPECT_THROW(AdmissionGovernor(simple_model(), params),
+               std::invalid_argument);
+}
+
+// Integration: extreme overload that rate adaptation cannot absorb (R_min
+// too high) — the governor sheds tasks until the set points are reachable,
+// then re-admits after the load drops.
+TEST(AdmissionIntegrationTest, ShedsAndRestoresLoad) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  // Narrow the rate range so etf = 4 is infeasible by rate adaptation:
+  // lowest estimated utilization = 2 * 35/250 = 0.28 -> at etf 4: 1.12 > B.
+  for (auto& t : cfg.spec.tasks) {
+    t.rate_min = 1.0 / 250.0;
+    t.initial_rate = 1.0 / 100.0;
+  }
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.enable_admission_control = true;
+  cfg.admission.patience = 3;
+  cfg.admission.cooldown = 5;
+  cfg.sim.etf = rts::EtfProfile::steps({{0.0, 4.0}, {150000.0, 0.5}});
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 9;
+  cfg.num_periods = 300;
+
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GE(res.admission_suspensions, 1u);
+  EXPECT_GE(res.admission_readmissions, 1u);
+  // During the overload phase at least one task was shed...
+  int min_enabled = 99;
+  for (const auto& rec : res.trace)
+    if (rec.k >= 20 && rec.k <= 150) min_enabled = std::min(min_enabled, rec.enabled_tasks);
+  EXPECT_LT(min_enabled, 3);
+  // ...and after the load drop the full task set is back.
+  EXPECT_EQ(res.trace.back().enabled_tasks, 3);
+  // With shedding, the overloaded phase ends below saturation.
+  const auto phase1 = metrics::utilization_stats(res, 0, 80, 150);
+  EXPECT_LT(phase1.mean(), 0.99);
+}
+
+TEST(AdmissionIntegrationTest, RequiresEuconController) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.controller = ControllerKind::kOpen;
+  cfg.enable_admission_control = true;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon::control

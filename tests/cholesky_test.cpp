@@ -1,0 +1,60 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eucon::linalg {
+namespace {
+
+// Random SPD matrix: A = B'B + I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix a = gram(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  Matrix a{{4.0, 2.0}, {2.0, 5.0}};
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.positive_definite());
+  const Matrix l = chol.l();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), 2.0, 1e-12);
+  EXPECT_TRUE(approx_equal(l * l.transposed(), a, 1e-12));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  Cholesky chol(a);
+  EXPECT_FALSE(chol.positive_definite());
+  EXPECT_THROW(chol.solve(Vector{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+class CholeskyRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyRandom, SolveRecoversPlantedSolution) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(17 + GetParam());
+  const Matrix a = random_spd(n, rng);
+  Vector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.positive_definite());
+  const Vector x = chol.solve(a * x_true);
+  EXPECT_TRUE(approx_equal(x, x_true, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRandom,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace eucon::linalg

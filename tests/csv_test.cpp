@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eucon {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_header({"k", "u1", "u2"});
+  w.write_row({1.0, 0.5, 0.25});
+  EXPECT_EQ(out.str(), "k,u1,u2\n1,0.5,0.25\n");
+}
+
+TEST(CsvTest, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_cells({"a,b", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_cells({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, DoubleFormattingRoundTrips) {
+  EXPECT_EQ(CsvWriter::format_double(0.8284271247), "0.8284271247");
+  EXPECT_EQ(CsvWriter::format_double(-2.0), "-2");
+}
+
+TEST(CsvTest, FileWriterRejectsBadPath) {
+  EXPECT_THROW(CsvFile("/nonexistent_dir_xyz/file.csv"), std::invalid_argument);
+}
+
+TEST(CsvTest, FileWriterWrites) {
+  const std::string path = ::testing::TempDir() + "/csv_test_out.csv";
+  {
+    CsvFile f(path);
+    f.writer().write_header({"a"});
+    f.writer().write_row({1.5});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5");
+}
+
+}  // namespace
+}  // namespace eucon

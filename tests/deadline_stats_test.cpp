@@ -1,0 +1,67 @@
+#include "rts/deadline_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace eucon::rts {
+namespace {
+
+TEST(DeadlineStatsTest, StartsEmpty) {
+  DeadlineStats s(2);
+  EXPECT_EQ(s.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(s.e2e_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.subtask_miss_ratio(), 0.0);
+  EXPECT_EQ(s.total_completed_instances(), 0u);
+}
+
+TEST(DeadlineStatsTest, CountsReleasesAndCompletions) {
+  DeadlineStats s(1);
+  s.on_instance_released(0);
+  s.on_instance_released(0);
+  s.on_instance_completed(0, 100, 200, 0);  // met
+  EXPECT_EQ(s.task(0).instances_released, 2u);
+  EXPECT_EQ(s.task(0).instances_completed, 1u);
+  EXPECT_EQ(s.task(0).e2e_misses, 0u);
+}
+
+TEST(DeadlineStatsTest, DetectsE2eMiss) {
+  DeadlineStats s(1);
+  s.on_instance_completed(0, 300, 200, 0);  // completion after deadline
+  EXPECT_EQ(s.task(0).e2e_misses, 1u);
+  EXPECT_DOUBLE_EQ(s.e2e_miss_ratio(), 1.0);
+}
+
+TEST(DeadlineStatsTest, CompletionAtDeadlineIsNotAMiss) {
+  DeadlineStats s(1);
+  s.on_instance_completed(0, 200, 200, 0);
+  EXPECT_EQ(s.task(0).e2e_misses, 0u);
+}
+
+TEST(DeadlineStatsTest, SubtaskMissRatio) {
+  DeadlineStats s(1);
+  s.on_subtask_completed(0, 50, 100);   // met
+  s.on_subtask_completed(0, 150, 100);  // missed
+  EXPECT_DOUBLE_EQ(s.subtask_miss_ratio(), 0.5);
+}
+
+TEST(DeadlineStatsTest, ResponseTimesAggregated) {
+  DeadlineStats s(1);
+  s.on_instance_completed(0, 2 * kTicksPerUnit, 10 * kTicksPerUnit, 0);
+  s.on_instance_completed(0, 4 * kTicksPerUnit, 10 * kTicksPerUnit, 0);
+  EXPECT_DOUBLE_EQ(s.task(0).response_time_units.mean(), 3.0);
+}
+
+TEST(DeadlineStatsTest, AggregatesAcrossTasks) {
+  DeadlineStats s(2);
+  s.on_instance_completed(0, 10, 20, 0);  // met
+  s.on_instance_completed(1, 30, 20, 0);  // missed
+  EXPECT_DOUBLE_EQ(s.e2e_miss_ratio(), 0.5);
+  EXPECT_EQ(s.total_completed_instances(), 2u);
+}
+
+TEST(DeadlineStatsTest, UnknownTaskThrows) {
+  DeadlineStats s(1);
+  EXPECT_THROW(s.on_instance_released(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eucon::rts

@@ -1,0 +1,134 @@
+#include "control/decentralized.h"
+
+#include <gtest/gtest.h>
+
+#include "control/linear_plant.h"
+#include "eucon/experiment.h"
+#include "eucon/metrics.h"
+#include "eucon/workloads.h"
+
+namespace eucon::control {
+namespace {
+
+using linalg::Vector;
+
+TEST(DecentralizedTest, PartitionsOwnershipCompletely) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  DecentralizedMpcController ctrl(model, workloads::medium_controller_params(),
+                                  workloads::medium().initial_rate_vector());
+  // Every task owned exactly once.
+  std::vector<int> owners(model.num_tasks(), 0);
+  for (std::size_t p = 0; p < model.num_processors(); ++p) {
+    for (std::size_t j : ctrl.owned_tasks(p)) ++owners[j];
+  }
+  for (std::size_t j = 0; j < model.num_tasks(); ++j)
+    EXPECT_EQ(owners[j], 1) << "task " << j;
+}
+
+TEST(DecentralizedTest, NeighborhoodsCoverCoupledProcessors) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  DecentralizedMpcController ctrl(model, workloads::medium_controller_params(),
+                                  workloads::medium().initial_rate_vector());
+  for (std::size_t p = 0; p < model.num_processors(); ++p) {
+    const auto& nb = ctrl.neighborhood(p);
+    EXPECT_EQ(nb.front(), p);  // self first
+    // Every processor a locally owned task touches is in the neighborhood.
+    for (std::size_t j : ctrl.owned_tasks(p))
+      for (std::size_t q = 0; q < model.num_processors(); ++q)
+        if (model.f(q, j) > 0.0)
+          EXPECT_NE(std::find(nb.begin(), nb.end(), q), nb.end());
+  }
+}
+
+TEST(DecentralizedTest, LocalProblemsAreSmallerThanCentralized) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  DecentralizedMpcController ctrl(model, workloads::medium_controller_params(),
+                                  workloads::medium().initial_rate_vector());
+  EXPECT_GE(ctrl.num_local_controllers(), 2u);
+  EXPECT_LT(ctrl.max_local_problem_size(), model.num_tasks());
+}
+
+TEST(DecentralizedTest, ConvergesOnLinearPlantSimple) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const Vector r0 = workloads::simple().initial_rate_vector();
+  DecentralizedMpcController ctrl(model, workloads::simple_controller_params(), r0);
+  LinearPlant plant(model, Vector{1.0, 1.0}, r0);
+  Vector u = plant.utilization();
+  for (int k = 0; k < 150; ++k) u = plant.step(ctrl.update(u));
+  EXPECT_NEAR(u[0], model.b[0], 0.01);
+  EXPECT_NEAR(u[1], model.b[1], 0.01);
+}
+
+TEST(DecentralizedTest, ConvergesOnLinearPlantMedium) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  const Vector r0 = workloads::medium().initial_rate_vector();
+  DecentralizedMpcController ctrl(model, workloads::medium_controller_params(), r0);
+  LinearPlant plant(model, Vector(4, 0.7), r0);
+  Vector u = plant.utilization();
+  for (int k = 0; k < 250; ++k) u = plant.step(ctrl.update(u));
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_NEAR(u[p], model.b[p], 0.02) << "P" << p + 1;
+}
+
+TEST(DecentralizedTest, FullSimulationAcceptableOnMedium) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::medium();
+  cfg.controller = ControllerKind::kDecentralized;
+  cfg.mpc = workloads::medium_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.sim.jitter = 0.2;
+  cfg.sim.seed = 7;
+  cfg.num_periods = 300;
+  const ExperimentResult res = run_experiment(cfg);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto a = metrics::acceptability(res, p);
+    EXPECT_TRUE(a.acceptable())
+        << "P" << p + 1 << " mean " << a.mean << " sd " << a.stddev;
+  }
+}
+
+TEST(DecentralizedTest, TracksDynamicLoadLikeCentralized) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::medium();
+  cfg.mpc = workloads::medium_controller_params();
+  cfg.sim.etf = rts::EtfProfile::steps(
+      {{0.0, 0.5}, {100000.0, 0.9}, {200000.0, 0.33}});
+  cfg.sim.jitter = 0.2;
+  cfg.sim.seed = 7;
+  cfg.num_periods = 300;
+
+  cfg.controller = ControllerKind::kDecentralized;
+  const ExperimentResult dec = run_experiment(cfg);
+  cfg.controller = ControllerKind::kEucon;
+  const ExperimentResult cen = run_experiment(cfg);
+
+  // The decentralized approximation costs a little tracking quality in the
+  // high-gain phase (each node ignores its peers' concurrent moves): allow
+  // a slightly wider mean band than the centralized criterion, but demand
+  // bounded oscillation and closeness to the centralized result.
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto a = metrics::acceptability(dec, p, 160, 200, 0.035, 0.05);
+    EXPECT_TRUE(a.acceptable())
+        << "decentralized P" << p + 1 << " after the load step: mean "
+        << a.mean << " sd " << a.stddev;
+  }
+  const double gap =
+      std::abs(metrics::acceptability(dec, 0, 160, 200).mean -
+               metrics::acceptability(cen, 0, 160, 200).mean);
+  EXPECT_LT(gap, 0.03);
+}
+
+TEST(DecentralizedTest, RejectsBadSizes) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  EXPECT_THROW(
+      DecentralizedMpcController(model, workloads::simple_controller_params(),
+                                 Vector{0.01}),
+      std::invalid_argument);
+  DecentralizedMpcController ctrl(model, workloads::simple_controller_params(),
+                                  workloads::simple().initial_rate_vector());
+  EXPECT_THROW(ctrl.update(Vector{0.5}), std::invalid_argument);
+  EXPECT_THROW(ctrl.owned_tasks(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon::control

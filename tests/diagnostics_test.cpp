@@ -1,0 +1,94 @@
+#include "control/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+#include "linalg/lu.h"
+
+namespace eucon::control {
+namespace {
+
+TEST(RankTest, BasicCases) {
+  EXPECT_EQ(linalg::rank(linalg::Matrix::identity(4)), 4u);
+  EXPECT_EQ(linalg::rank(linalg::Matrix(3, 3)), 0u);
+  // Rank-1: outer-product-like rows.
+  linalg::Matrix r1{{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, {-1.0, -2.0, -3.0}};
+  EXPECT_EQ(linalg::rank(r1), 1u);
+  // Rectangular.
+  linalg::Matrix wide{{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+  EXPECT_EQ(linalg::rank(wide), 2u);
+  linalg::Matrix tall{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_EQ(linalg::rank(tall), 1u);
+}
+
+TEST(RankTest, NearDependentRowsBelowTolerance) {
+  linalg::Matrix m{{1.0, 1.0}, {1.0, 1.0 + 1e-14}};
+  EXPECT_EQ(linalg::rank(m), 1u);       // default tol 1e-10
+  EXPECT_EQ(linalg::rank(m, 1e-16), 2u);  // tighter tol sees the difference
+}
+
+TEST(DiagnosticsTest, HealthyWorkloadsPass) {
+  for (const auto& spec : {workloads::simple(), workloads::medium()}) {
+    const PlantDiagnostics d = diagnose_plant(make_plant_model(spec));
+    EXPECT_TRUE(d.full_row_rank);
+    EXPECT_TRUE(d.unloaded_processors.empty());
+    EXPECT_TRUE(d.ineffective_tasks.empty());
+    EXPECT_NE(to_string(d).find("OK"), std::string::npos);
+  }
+}
+
+TEST(DiagnosticsTest, DetectsTable1Infeasibility) {
+  // The documented paper inconsistency, caught statically: at etf = 1 the
+  // SIMPLE set points are reachable, so the builtin passes — but scaling
+  // the estimates to emulate etf = 0.2 (i.e. shrinking the effective F)
+  // puts B above the ceiling.
+  PlantModel model = make_plant_model(workloads::simple());
+  model.f *= 0.2;  // effective execution times at etf = 0.2
+  const PlantDiagnostics d = diagnose_plant(model);
+  EXPECT_FALSE(d.set_point_above_ceiling.empty());
+  EXPECT_FALSE(d.structurally_feasible());
+  EXPECT_NE(to_string(d).find("ceiling"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, DetectsSetPointBelowFloor) {
+  PlantModel model = make_plant_model(workloads::simple());
+  // Raise the rate floors so even R_min overloads the processors.
+  for (std::size_t j = 0; j < model.num_tasks(); ++j)
+    model.rate_min[j] = model.rate_max[j] * 0.9;
+  const PlantDiagnostics d = diagnose_plant(model);
+  EXPECT_FALSE(d.set_point_below_floor.empty());
+}
+
+TEST(DiagnosticsTest, DetectsUnloadedProcessor) {
+  rts::SystemSpec s = workloads::simple();
+  s.num_processors = 3;  // P3 hosts nothing
+  const PlantDiagnostics d = diagnose_plant(make_plant_model(s));
+  ASSERT_EQ(d.unloaded_processors.size(), 1u);
+  EXPECT_EQ(d.unloaded_processors[0], 2);
+  EXPECT_FALSE(d.full_row_rank);
+  EXPECT_FALSE(d.structurally_feasible());
+  EXPECT_NE(to_string(d).find("P3"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, DetectsRowRankDeficiency) {
+  // Two processors loaded identically by the same tasks: rank 1.
+  PlantModel model;
+  model.f = linalg::Matrix{{10.0, 20.0}, {10.0, 20.0}};
+  model.b = linalg::Vector{0.5, 0.7};  // untrackable pair
+  model.rate_min = linalg::Vector{0.001, 0.001};
+  model.rate_max = linalg::Vector{0.05, 0.05};
+  const PlantDiagnostics d = diagnose_plant(model);
+  EXPECT_EQ(d.rank, 1u);
+  EXPECT_FALSE(d.full_row_rank);
+}
+
+TEST(DiagnosticsTest, EnvelopeValuesExact) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const PlantDiagnostics d = diagnose_plant(model);
+  // P1 floor: (35 + 35) / 700 = 0.1; ceiling: (35 + 35)/35 = 2.0.
+  EXPECT_NEAR(d.min_estimated_utilization[0], 0.1, 1e-12);
+  EXPECT_NEAR(d.max_estimated_utilization[0], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eucon::control

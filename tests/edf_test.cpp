@@ -1,0 +1,155 @@
+// EDF scheduling policy and subdeadline-assignment strategies.
+#include <gtest/gtest.h>
+
+#include "rts/simulator.h"
+
+namespace eucon::rts {
+namespace {
+
+// Classic RMS-vs-EDF separator: two tasks, total utilization ≈ 0.97 —
+// above the Liu–Layland bound (0.828) but below 1. EDF schedules it with
+// zero misses; RMS misses deadlines of the longer-period task.
+SystemSpec two_task_097() {
+  SystemSpec s;
+  s.num_processors = 1;
+  TaskSpec t1;
+  t1.name = "T1";
+  t1.subtasks = {{0, 2.0}};
+  t1.rate_min = 1.0 / 500.0;
+  t1.rate_max = 1.0 / 2.0;
+  t1.initial_rate = 1.0 / 5.0;  // c=2, p=5 -> u = 0.4
+  TaskSpec t2 = t1;
+  t2.name = "T2";
+  t2.subtasks = {{0, 4.0}};
+  t2.rate_max = 1.0 / 4.0;
+  t2.initial_rate = 1.0 / 7.0;  // c=4, p=7 -> u = 0.571
+  s.tasks = {t1, t2};
+  return s;
+}
+
+TEST(EdfTest, EdfSchedulesWhatRmsCannot) {
+  SimOptions rms;
+  rms.policy = SchedulingPolicy::kRateMonotonic;
+  Simulator sim_rms(two_task_097(), rms);
+  sim_rms.run_until_units(10000.0);
+
+  SimOptions edf;
+  edf.policy = SchedulingPolicy::kEdf;
+  Simulator sim_edf(two_task_097(), edf);
+  sim_edf.run_until_units(10000.0);
+
+  EXPECT_GT(sim_rms.deadline_stats().subtask_miss_ratio(), 0.05)
+      << "RMS must miss above the Liu-Layland bound";
+  EXPECT_DOUBLE_EQ(sim_edf.deadline_stats().subtask_miss_ratio(), 0.0)
+      << "EDF is optimal up to u = 1";
+  // Both policies do the same amount of work.
+  EXPECT_NEAR(sim_rms.deadline_stats().total_completed_instances(),
+              sim_edf.deadline_stats().total_completed_instances(), 5);
+}
+
+TEST(EdfTest, BothPoliciesMeetDeadlinesUnderLiuLayland) {
+  // u = 0.4 + 0.2 = 0.6 < 0.828: both must be clean.
+  SystemSpec s = two_task_097();
+  s.tasks[1].initial_rate = 1.0 / 20.0;  // c=4, p=20 -> u = 0.2
+  for (auto policy : {SchedulingPolicy::kRateMonotonic, SchedulingPolicy::kEdf}) {
+    SimOptions opts;
+    opts.policy = policy;
+    Simulator sim(s, opts);
+    sim.run_until_units(10000.0);
+    EXPECT_DOUBLE_EQ(sim.deadline_stats().subtask_miss_ratio(), 0.0);
+  }
+}
+
+TEST(EdfTest, UtilizationIndependentOfPolicy) {
+  // Work conservation: the measured utilization is a property of the
+  // demand, not the ordering.
+  for (auto policy : {SchedulingPolicy::kRateMonotonic, SchedulingPolicy::kEdf}) {
+    SimOptions opts;
+    opts.policy = policy;
+    Simulator sim(two_task_097(), opts);
+    sim.run_until_units(10000.0);
+    EXPECT_NEAR(sim.sample_utilizations()[0], 0.4 + 4.0 / 7.0, 0.01);
+  }
+}
+
+TEST(EdfTest, EdfSurvivesRateChanges) {
+  SimOptions opts;
+  opts.policy = SchedulingPolicy::kEdf;
+  Simulator sim(two_task_097(), opts);
+  sim.run_until_units(2000.0);
+  (void)sim.sample_utilizations();
+  sim.set_rates({1.0 / 10.0, 1.0 / 14.0});  // halve both rates
+  sim.run_until_units(4000.0);
+  EXPECT_NEAR(sim.sample_utilizations()[0], 0.2 + 4.0 / 14.0, 0.02);
+  EXPECT_DOUBLE_EQ(sim.deadline_stats().e2e_miss_ratio(), 0.0);
+}
+
+// Subdeadline assignment: the same deterministic schedule judged by the
+// two division policies. A chain (c1 = 60 on P1, c2 = 10 on P2), period
+// 100, deadline 200: the even division grants the second subtask 100, the
+// proportional division only 200 * 10/70 ≈ 28.6. An interfering
+// higher-priority local task on P2 pushes some of the chain's responses
+// past 28.6 — misses under proportional, clean under even.
+TEST(SubdeadlineTest, PoliciesJudgeTheSameScheduleDifferently) {
+  SystemSpec s;
+  s.num_processors = 2;
+  TaskSpec chain;
+  chain.name = "chain";
+  chain.subtasks = {{0, 60.0}, {1, 10.0}};
+  chain.rate_min = 1.0 / 1000.0;
+  chain.rate_max = 1.0 / 60.0;
+  chain.initial_rate = 1.0 / 100.0;
+  TaskSpec interferer;
+  interferer.name = "interferer";
+  interferer.subtasks = {{1, 20.0}};
+  interferer.rate_min = 1.0 / 1000.0;
+  interferer.rate_max = 1.0 / 20.0;
+  interferer.initial_rate = 1.0 / 40.0;  // higher RMS priority than the chain
+  s.tasks = {chain, interferer};
+
+  SimOptions even;
+  even.subdeadline_policy = SubdeadlinePolicy::kEvenByCount;
+  Simulator sim_even(s, even);
+  sim_even.run_until_units(20000.0);
+
+  SimOptions prop;
+  prop.subdeadline_policy = SubdeadlinePolicy::kProportionalToExec;
+  Simulator sim_prop(s, prop);
+  sim_prop.run_until_units(20000.0);
+
+  EXPECT_DOUBLE_EQ(sim_even.deadline_stats().subtask_miss_ratio(), 0.0)
+      << "even: every response fits in a full period";
+  EXPECT_GT(sim_prop.deadline_stats().subtask_miss_ratio(), 0.05)
+      << "proportional: interference pushes c2's response past its 28.6 share";
+  // The schedule itself is identical — same completions either way.
+  EXPECT_EQ(sim_even.deadline_stats().total_completed_instances(),
+            sim_prop.deadline_stats().total_completed_instances());
+}
+
+TEST(SubdeadlineTest, EvenDivisionEqualsOnePeriod) {
+  // With the even policy the subdeadline equals the period, so a
+  // single-subtask task misses exactly when its response exceeds the
+  // period: c = 50 at etf 1.2 -> 60 > period 55.
+  SystemSpec s;
+  s.num_processors = 1;
+  TaskSpec t;
+  t.name = "solo";
+  t.subtasks = {{0, 50.0}};
+  t.rate_min = 1.0 / 1000.0;
+  t.rate_max = 1.0 / 50.0;
+  t.initial_rate = 1.0 / 55.0;
+  s.tasks = {t};
+  SimOptions opts;
+  opts.etf = EtfProfile::constant(1.2);
+  Simulator sim(s, opts);
+  sim.run_until_units(5000.0);
+  EXPECT_GT(sim.deadline_stats().subtask_miss_ratio(), 0.9);
+
+  opts.etf = EtfProfile::constant(0.9);  // 45 < 55: all met
+  Simulator sim_ok(s, opts);
+  sim_ok.run_until_units(5000.0);
+  EXPECT_DOUBLE_EQ(sim_ok.deadline_stats().subtask_miss_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace eucon::rts

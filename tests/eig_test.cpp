@@ -1,0 +1,132 @@
+#include "linalg/eig.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/lu.h"
+
+namespace eucon::linalg {
+namespace {
+
+std::vector<double> sorted_real_parts(const std::vector<std::complex<double>>& ev) {
+  std::vector<double> re;
+  for (const auto& e : ev) re.push_back(e.real());
+  std::sort(re.begin(), re.end());
+  return re;
+}
+
+TEST(EigTest, DiagonalMatrix) {
+  const auto ev = eigenvalues(Matrix::diagonal(Vector{3.0, -1.0, 2.0}));
+  const auto re = sorted_real_parts(ev);
+  ASSERT_EQ(re.size(), 3u);
+  EXPECT_NEAR(re[0], -1.0, 1e-10);
+  EXPECT_NEAR(re[1], 2.0, 1e-10);
+  EXPECT_NEAR(re[2], 3.0, 1e-10);
+  for (const auto& e : ev) EXPECT_NEAR(e.imag(), 0.0, 1e-10);
+}
+
+TEST(EigTest, TwoByTwoComplexPair) {
+  // Rotation-like matrix: eigenvalues cos θ ± i sin θ.
+  const double theta = 0.7;
+  Matrix a{{std::cos(theta), -std::sin(theta)},
+           {std::sin(theta), std::cos(theta)}};
+  const auto ev = eigenvalues(a);
+  ASSERT_EQ(ev.size(), 2u);
+  for (const auto& e : ev) {
+    EXPECT_NEAR(e.real(), std::cos(theta), 1e-10);
+    EXPECT_NEAR(std::abs(e.imag()), std::sin(theta), 1e-10);
+  }
+  EXPECT_NEAR(spectral_radius(a), 1.0, 1e-10);
+}
+
+TEST(EigTest, UpperTriangularEigenvaluesAreDiagonal) {
+  Matrix a{{1.0, 5.0, -2.0}, {0.0, -3.0, 7.0}, {0.0, 0.0, 0.5}};
+  const auto re = sorted_real_parts(eigenvalues(a));
+  EXPECT_NEAR(re[0], -3.0, 1e-9);
+  EXPECT_NEAR(re[1], 0.5, 1e-9);
+  EXPECT_NEAR(re[2], 1.0, 1e-9);
+}
+
+TEST(EigTest, CompanionMatrixKnownRoots) {
+  // Companion of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  Matrix a{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const auto re = sorted_real_parts(eigenvalues(a));
+  EXPECT_NEAR(re[0], 1.0, 1e-8);
+  EXPECT_NEAR(re[1], 2.0, 1e-8);
+  EXPECT_NEAR(re[2], 3.0, 1e-8);
+}
+
+TEST(EigTest, ZeroMatrix) {
+  const auto ev = eigenvalues(Matrix(4, 4));
+  for (const auto& e : ev) EXPECT_NEAR(std::abs(e), 0.0, 1e-12);
+  EXPECT_NEAR(spectral_radius(Matrix(4, 4)), 0.0, 1e-12);
+}
+
+TEST(EigTest, OneByOne) {
+  const auto ev = eigenvalues(Matrix{{-2.5}});
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev[0].real(), -2.5);
+}
+
+TEST(EigTest, HessenbergPreservesEigenvalues) {
+  Rng rng(3);
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  const Matrix h = hessenberg(a);
+  // Hessenberg structure: zero below the first subdiagonal.
+  for (std::size_t r = 2; r < 5; ++r)
+    for (std::size_t c = 0; c + 1 < r; ++c) EXPECT_NEAR(h(r, c), 0.0, 1e-12);
+  // Similarity: traces and determinants match.
+  double tr_a = 0, tr_h = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    tr_a += a(i, i);
+    tr_h += h(i, i);
+  }
+  EXPECT_NEAR(tr_a, tr_h, 1e-9);
+  EXPECT_NEAR(Lu(a).determinant(), Lu(h).determinant(), 1e-7);
+}
+
+// Property sweep: for random matrices the eigenvalue multiset must satisfy
+// sum = trace and product = determinant.
+class EigRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigRandom, TraceAndDeterminantInvariants) {
+  const auto n = static_cast<std::size_t>(GetParam() % 100);
+  Rng rng(1000 + GetParam());
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+
+  const auto ev = eigenvalues(a);
+  ASSERT_EQ(ev.size(), n);
+
+  std::complex<double> sum = 0.0, prod = 1.0;
+  for (const auto& e : ev) {
+    sum += e;
+    prod *= e;
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+
+  EXPECT_NEAR(sum.real(), trace, 1e-6 * (1.0 + std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-6);
+  const double det = Lu(a).determinant();
+  EXPECT_NEAR(prod.real(), det, 1e-5 * (1.0 + std::abs(det)));
+  EXPECT_NEAR(prod.imag(), 0.0, 1e-5 * (1.0 + std::abs(det)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigRandom,
+                         ::testing::Values(102, 203, 304, 405, 506, 607, 708,
+                                           809, 910, 1011, 1012, 1013));
+
+TEST(EigTest, SpectralRadiusOfContractionBelowOne) {
+  Matrix a{{0.5, 0.2}, {0.1, 0.4}};
+  EXPECT_LT(spectral_radius(a), 1.0);
+}
+
+}  // namespace
+}  // namespace eucon::linalg

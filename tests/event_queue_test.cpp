@@ -1,0 +1,82 @@
+#include "rts/event.h"
+
+#include <gtest/gtest.h>
+
+namespace eucon::rts {
+namespace {
+
+Event at(Ticks t, EventKind kind = EventKind::kTaskRelease) {
+  Event e;
+  e.time = t;
+  e.kind = kind;
+  return e;
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  q.push(at(30));
+  q.push(at(10));
+  q.push(at(20));
+  EXPECT_EQ(q.pop().time, 10);
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_EQ(q.pop().time, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FifoAtEqualTimes) {
+  EventQueue q;
+  Event a = at(5);
+  a.task = 1;
+  Event b = at(5);
+  b.task = 2;
+  Event c = at(5);
+  c.task = 3;
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  EXPECT_EQ(q.pop().task, 1);
+  EXPECT_EQ(q.pop().task, 2);
+  EXPECT_EQ(q.pop().task, 3);
+}
+
+TEST(EventQueueTest, InterleavedPushPopPreservesCausality) {
+  EventQueue q;
+  q.push(at(10));
+  const Event first = q.pop();
+  EXPECT_EQ(first.time, 10);
+  // An event created while processing time 10 for the same instant must
+  // come out after previously queued time-10 events.
+  Event earlier = at(10);
+  earlier.task = 7;
+  q.push(earlier);
+  Event later = at(10);
+  later.task = 8;
+  q.push(later);
+  EXPECT_EQ(q.pop().task, 7);
+  EXPECT_EQ(q.pop().task, 8);
+}
+
+TEST(EventQueueTest, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(at(1));
+  q.push(at(2));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PayloadSurvives) {
+  EventQueue q;
+  Event e = at(42, EventKind::kCompletion);
+  e.processor = 3;
+  e.gen = 17;
+  q.push(e);
+  const Event out = q.pop();
+  EXPECT_EQ(out.kind, EventKind::kCompletion);
+  EXPECT_EQ(out.processor, 3);
+  EXPECT_EQ(out.gen, 17u);
+}
+
+}  // namespace
+}  // namespace eucon::rts

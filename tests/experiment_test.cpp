@@ -1,0 +1,118 @@
+#include "eucon/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+
+namespace eucon {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.num_periods = 30;
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  return cfg;
+}
+
+TEST(ExperimentTest, TraceHasOneRecordPerPeriod) {
+  const ExperimentResult res = run_experiment(small_config());
+  ASSERT_EQ(res.trace.size(), 30u);
+  EXPECT_EQ(res.trace.front().k, 1);
+  EXPECT_EQ(res.trace.back().k, 30);
+  EXPECT_EQ(res.trace[0].u.size(), 2u);
+  EXPECT_EQ(res.trace[0].rates.size(), 3u);
+}
+
+TEST(ExperimentTest, SetPointsRecorded) {
+  const ExperimentResult res = run_experiment(small_config());
+  ASSERT_EQ(res.set_points.size(), 2u);
+  EXPECT_NEAR(res.set_points[0], 0.828, 5e-4);
+}
+
+TEST(ExperimentTest, SeriesAccessors) {
+  const ExperimentResult res = run_experiment(small_config());
+  EXPECT_EQ(res.utilization_series(0).size(), 30u);
+  EXPECT_EQ(res.rate_series(2).size(), 30u);
+  EXPECT_DOUBLE_EQ(res.utilization_series(1)[4], res.trace[4].u[1]);
+}
+
+TEST(ExperimentTest, DeterministicForSameConfig) {
+  const ExperimentResult a = run_experiment(small_config());
+  const ExperimentResult b = run_experiment(small_config());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].u, b.trace[i].u);
+    EXPECT_EQ(a.trace[i].rates, b.trace[i].rates);
+  }
+}
+
+TEST(ExperimentTest, OpenControllerKeepsConstantRates) {
+  ExperimentConfig cfg = small_config();
+  cfg.controller = ControllerKind::kOpen;
+  const ExperimentResult res = run_experiment(cfg);
+  for (const auto& rec : res.trace)
+    EXPECT_EQ(rec.rates, res.trace.front().rates);
+}
+
+TEST(ExperimentTest, PidControllerRuns) {
+  ExperimentConfig cfg = small_config();
+  cfg.controller = ControllerKind::kPid;
+  cfg.num_periods = 100;
+  const ExperimentResult res = run_experiment(cfg);
+  // PI action should get close to the set point at nominal-ish gain.
+  EXPECT_NEAR(res.trace.back().u[0], 0.828, 0.1);
+}
+
+TEST(ExperimentTest, HookObservesEveryPeriod) {
+  ExperimentConfig cfg = small_config();
+  int calls = 0;
+  cfg.on_period = [&](int k, control::Controller& c) {
+    ++calls;
+    EXPECT_EQ(c.name(), "EUCON");
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 30);
+  };
+  (void)run_experiment(cfg);
+  EXPECT_EQ(calls, 30);
+}
+
+TEST(ExperimentTest, HookCanChangeSetPointsOnline) {
+  ExperimentConfig cfg = small_config();
+  cfg.num_periods = 120;
+  cfg.on_period = [](int k, control::Controller& c) {
+    if (k == 60)
+      dynamic_cast<control::MpcController&>(c).set_set_points(
+          linalg::Vector{0.5, 0.5});
+  };
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_NEAR(res.trace[55].u[0], 0.828, 0.05);  // before the change
+  EXPECT_NEAR(res.trace[119].u[0], 0.5, 0.05);   // after it settles
+}
+
+TEST(ExperimentTest, ControllerKindNames) {
+  EXPECT_STREQ(controller_kind_name(ControllerKind::kEucon), "EUCON");
+  EXPECT_STREQ(controller_kind_name(ControllerKind::kOpen), "OPEN");
+  EXPECT_STREQ(controller_kind_name(ControllerKind::kPid), "PID");
+}
+
+TEST(ExperimentTest, RejectsBadConfig) {
+  ExperimentConfig cfg = small_config();
+  cfg.num_periods = 0;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.sampling_period = 0.0;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(ExperimentTest, CustomSetPoints) {
+  ExperimentConfig cfg = small_config();
+  cfg.set_points = linalg::Vector{0.6, 0.7};
+  cfg.num_periods = 100;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_NEAR(res.trace.back().u[0], 0.6, 0.05);
+  EXPECT_NEAR(res.trace.back().u[1], 0.7, 0.05);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,115 @@
+// Failure injection: lossy feedback lanes and task suspension.
+#include <gtest/gtest.h>
+
+#include "eucon/eucon.h"
+
+namespace eucon {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 42;
+  cfg.num_periods = 300;
+  return cfg;
+}
+
+TEST(FaultsTest, NoLossByDefault) {
+  const ExperimentResult res = run_experiment(base_config());
+  EXPECT_EQ(res.lost_reports, 0u);
+}
+
+TEST(FaultsTest, LossCountMatchesProbability) {
+  ExperimentConfig cfg = base_config();
+  cfg.report_loss_probability = 0.2;
+  const ExperimentResult res = run_experiment(cfg);
+  // 300 periods x 2 processors x 0.2 = 120 expected losses.
+  EXPECT_NEAR(static_cast<double>(res.lost_reports), 120.0, 35.0);
+}
+
+TEST(FaultsTest, EuconToleratesModerateReportLoss) {
+  ExperimentConfig cfg = base_config();
+  cfg.report_loss_probability = 0.2;
+  const ExperimentResult res = run_experiment(cfg);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto a = metrics::acceptability(res, p);
+    EXPECT_TRUE(a.acceptable())
+        << "P" << p + 1 << " mean " << a.mean << " sd " << a.stddev;
+  }
+}
+
+TEST(FaultsTest, HeavyLossDegradesButDoesNotDiverge) {
+  ExperimentConfig cfg = base_config();
+  cfg.report_loss_probability = 0.6;
+  const ExperimentResult res = run_experiment(cfg);
+  const auto a = metrics::utilization_stats(res, 0, 100);
+  // Still hovering near the set point even with 60% of reports dropped
+  // (stale measurements slow the loop but do not destabilize it at g<1).
+  EXPECT_NEAR(a.mean(), 0.828, 0.08);
+}
+
+TEST(FaultsTest, LossIsDeterministicPerSeed) {
+  ExperimentConfig cfg = base_config();
+  cfg.report_loss_probability = 0.3;
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_EQ(a.lost_reports, b.lost_reports);
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    EXPECT_EQ(a.trace[i].u, b.trace[i].u);
+}
+
+TEST(FaultsTest, InvalidProbabilityRejected) {
+  ExperimentConfig cfg = base_config();
+  cfg.report_loss_probability = 1.0;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+  cfg.report_loss_probability = -0.1;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(FaultsTest, TaskSuspensionStopsReleases) {
+  rts::Simulator sim(workloads::simple(), rts::SimOptions{});
+  sim.run_until_units(5000.0);
+  const auto released_before = sim.deadline_stats().task(2).instances_released;
+  sim.set_task_enabled(2, false);
+  EXPECT_FALSE(sim.task_enabled(2));
+  sim.run_until_units(15000.0);
+  const auto released_after = sim.deadline_stats().task(2).instances_released;
+  EXPECT_LE(released_after, released_before + 1);  // nothing new releases
+  // Other tasks unaffected.
+  EXPECT_GT(sim.deadline_stats().task(0).instances_released,
+            released_before * 2);
+}
+
+TEST(FaultsTest, TaskResumeRestartsReleases) {
+  rts::Simulator sim(workloads::simple(), rts::SimOptions{});
+  sim.run_until_units(2000.0);
+  sim.set_task_enabled(0, false);
+  sim.run_until_units(4000.0);
+  const auto during = sim.deadline_stats().task(0).instances_released;
+  sim.set_task_enabled(0, true);
+  EXPECT_TRUE(sim.task_enabled(0));
+  sim.run_until_units(8000.0);
+  EXPECT_GT(sim.deadline_stats().task(0).instances_released, during + 10);
+}
+
+TEST(FaultsTest, SuspensionLowersUtilization) {
+  rts::Simulator sim(workloads::simple(), rts::SimOptions{});
+  sim.run_until_units(5000.0);
+  const double before = sim.sample_utilizations()[0];
+  sim.set_task_enabled(0, false);  // T1 contributes 35/60 of P1's load
+  sim.run_until_units(10000.0);
+  const double after = sim.sample_utilizations()[0];
+  EXPECT_LT(after, before - 0.3);
+}
+
+TEST(FaultsTest, UnknownTaskIndexRejected) {
+  rts::Simulator sim(workloads::simple(), rts::SimOptions{});
+  EXPECT_THROW(sim.set_task_enabled(5, false), std::invalid_argument);
+  EXPECT_THROW(sim.task_enabled(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,134 @@
+// Interactions between simulator features that are individually tested
+// elsewhere: EDF × migration, tracing × suspension, EDF × proportional
+// subdeadlines × dynamic rates, overhead × trace, links × EDF.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eucon/eucon.h"
+
+namespace eucon::rts {
+namespace {
+
+SystemSpec two_proc_chain() {
+  SystemSpec s;
+  s.num_processors = 2;
+  TaskSpec chain;
+  chain.name = "chain";
+  chain.subtasks = {{0, 20.0}, {1, 30.0}};
+  chain.rate_min = 1.0 / 2000.0;
+  chain.rate_max = 1.0 / 60.0;
+  chain.initial_rate = 1.0 / 120.0;
+  TaskSpec local;
+  local.name = "local";
+  local.subtasks = {{0, 25.0}};
+  local.rate_min = 1.0 / 2000.0;
+  local.rate_max = 1.0 / 50.0;
+  local.initial_rate = 1.0 / 100.0;
+  s.tasks = {chain, local};
+  return s;
+}
+
+TEST(FeatureInteractionTest, EdfSurvivesMigration) {
+  SimOptions opts;
+  opts.policy = SchedulingPolicy::kEdf;
+  Simulator sim(two_proc_chain(), opts);
+  sim.run_until_units(5000.0);
+  (void)sim.sample_utilizations();
+  sim.migrate_subtask(0, 1, 0);  // chain's 2nd subtask joins P1
+  sim.run_until_units(6000.0);
+  (void)sim.sample_utilizations();
+  sim.run_until_units(12000.0);
+  const auto u = sim.sample_utilizations();
+  // All load now on P1: 20/120 + 30/120 + 25/100 ≈ 0.667; P2 idle.
+  EXPECT_NEAR(u[0], 20.0 / 120 + 30.0 / 120 + 25.0 / 100, 0.02);
+  EXPECT_NEAR(u[1], 0.0, 1e-9);
+  // Post-migration schedule remains deadline-clean (EDF, u < 1).
+  EXPECT_DOUBLE_EQ(sim.deadline_stats().subtask_miss_ratio(), 0.0);
+}
+
+TEST(FeatureInteractionTest, TraceReflectsSuspension) {
+  SimOptions opts;
+  opts.enable_trace = true;
+  Simulator sim(two_proc_chain(), opts);
+  sim.run_until_units(3000.0);
+  sim.set_task_enabled(1, false);
+  sim.run_until_units(9000.0);
+  // No release records for the suspended task after the suspension time.
+  const Ticks cut = units_to_ticks(3100.0);
+  for (const auto& r : sim.trace().records()) {
+    if (r.kind != TraceKind::kRelease) continue;
+    if (r.task == 1) EXPECT_LE(r.time, cut);
+  }
+}
+
+TEST(FeatureInteractionTest, EdfProportionalSubdeadlinesAndRateChanges) {
+  SimOptions opts;
+  opts.policy = SchedulingPolicy::kEdf;
+  opts.subdeadline_policy = SubdeadlinePolicy::kProportionalToExec;
+  Simulator sim(two_proc_chain(), opts);
+  sim.run_until_units(4000.0);
+  (void)sim.sample_utilizations();
+  sim.set_rates({1.0 / 80.0, 1.0 / 70.0});
+  sim.run_until_units(5000.0);
+  (void)sim.sample_utilizations();
+  sim.run_until_units(10000.0);
+  const auto u = sim.sample_utilizations();
+  EXPECT_NEAR(u[0], 20.0 / 80 + 25.0 / 70, 0.02);
+  EXPECT_NEAR(u[1], 30.0 / 80, 0.02);
+  EXPECT_DOUBLE_EQ(sim.deadline_stats().subtask_miss_ratio(), 0.0);
+}
+
+TEST(FeatureInteractionTest, OverheadAppearsInTrace) {
+  SimOptions opts;
+  opts.enable_trace = true;
+  Simulator sim(two_proc_chain(), opts);
+  sim.run_until_units(1000.0);
+  sim.inject_overhead(0, 50.0);
+  sim.run_until_units(2000.0);
+  bool saw_overhead = false;
+  for (const auto& r : sim.trace().records())
+    if (r.task == -1 && r.kind == TraceKind::kCompletion) saw_overhead = true;
+  EXPECT_TRUE(saw_overhead);
+}
+
+TEST(FeatureInteractionTest, LinkedSystemUnderEdf) {
+  network::LinkModelParams params;
+  params.transmission_time = 5.0;
+  const auto linked = network::with_network_links(two_proc_chain(), params);
+  SimOptions opts;
+  opts.policy = SchedulingPolicy::kEdf;
+  Simulator sim(linked.spec, opts);
+  sim.run_until_units(12000.0);
+  const auto u = sim.sample_utilizations();
+  // The link carries one 5-unit message per chain period.
+  const int link = linked.link_between(0, 1);
+  EXPECT_NEAR(u[static_cast<std::size_t>(link)], 5.0 / 120, 0.01);
+  EXPECT_DOUBLE_EQ(sim.deadline_stats().subtask_miss_ratio(), 0.0);
+}
+
+TEST(FeatureInteractionTest, SuspendResumeKeepsGuardSeparation) {
+  SimOptions opts;
+  opts.enable_trace = true;
+  Simulator sim(two_proc_chain(), opts);
+  sim.run_until_units(2000.0);
+  sim.set_task_enabled(0, false);
+  sim.run_until_units(2500.0);
+  sim.set_task_enabled(0, true);
+  sim.run_until_units(8000.0);
+  // Consecutive releases of the chain's first subtask never violate the
+  // minimum separation of one period (release guard across suspension).
+  const Ticks period = rate_to_period_ticks(1.0 / 120.0);
+  std::map<int, Ticks> last_release;
+  for (const auto& r : sim.trace().records()) {
+    if (r.kind != TraceKind::kRelease || r.task != 0 || r.subtask != 0)
+      continue;
+    auto it = last_release.find(r.task);
+    if (it != last_release.end())
+      EXPECT_GE(r.time - it->second, period - 1) << "guard separation";
+    last_release[r.task] = r.time;
+  }
+}
+
+}  // namespace
+}  // namespace eucon::rts

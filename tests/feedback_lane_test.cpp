@@ -1,0 +1,60 @@
+#include "eucon/feedback_lane.h"
+
+#include <gtest/gtest.h>
+
+namespace eucon {
+namespace {
+
+using linalg::Vector;
+
+TEST(FeedbackLanesTest, LosslessPassesThrough) {
+  FeedbackLanes lanes(3, 0.0, 1);
+  const Vector u{0.1, 0.2, 0.3};
+  EXPECT_TRUE(linalg::approx_equal(lanes.deliver(u), u, 0.0));
+  EXPECT_EQ(lanes.lost_reports(), 0u);
+  EXPECT_EQ(lanes.delivered_reports(), 3u);
+}
+
+TEST(FeedbackLanesTest, LossRepeatsLastDelivered) {
+  FeedbackLanes lanes(1, 0.999999, 2);  // drops essentially everything
+  const Vector first = lanes.deliver(Vector{0.5});
+  // Whatever the first outcome, subsequent losses must repeat it.
+  const Vector second = lanes.deliver(Vector{0.9});
+  if (lanes.lost_reports() >= 2) EXPECT_DOUBLE_EQ(second[0], first[0]);
+}
+
+TEST(FeedbackLanesTest, InitialLossReportsZero) {
+  // Before anything was delivered, a lost report reads as "no load".
+  FeedbackLanes lanes(1, 0.999999, 3);
+  const Vector seen = lanes.deliver(Vector{0.7});
+  if (lanes.lost_reports() == 1) EXPECT_DOUBLE_EQ(seen[0], 0.0);
+}
+
+TEST(FeedbackLanesTest, LossRateMatchesProbability) {
+  FeedbackLanes lanes(4, 0.25, 7);
+  for (int k = 0; k < 2000; ++k) (void)lanes.deliver(Vector{0.1, 0.2, 0.3, 0.4});
+  const double ratio =
+      static_cast<double>(lanes.lost_reports()) /
+      static_cast<double>(lanes.lost_reports() + lanes.delivered_reports());
+  EXPECT_NEAR(ratio, 0.25, 0.02);
+}
+
+TEST(FeedbackLanesTest, DeterministicPerSeed) {
+  FeedbackLanes a(2, 0.5, 11), b(2, 0.5, 11);
+  for (int k = 0; k < 50; ++k) {
+    const Vector u{0.01 * k, 0.02 * k};
+    EXPECT_TRUE(linalg::approx_equal(a.deliver(u), b.deliver(u), 0.0));
+  }
+  EXPECT_EQ(a.lost_reports(), b.lost_reports());
+}
+
+TEST(FeedbackLanesTest, RejectsBadArguments) {
+  EXPECT_THROW(FeedbackLanes(0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(FeedbackLanes(2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(FeedbackLanes(2, -0.1, 1), std::invalid_argument);
+  FeedbackLanes lanes(2, 0.0, 1);
+  EXPECT_THROW(lanes.deliver(Vector{0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon

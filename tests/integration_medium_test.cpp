@@ -1,0 +1,134 @@
+// End-to-end reproduction checks on the MEDIUM workload (paper §7.2-7.3,
+// Figures 5-8).
+#include <gtest/gtest.h>
+
+#include "eucon/eucon.h"
+
+namespace eucon {
+namespace {
+
+ExperimentConfig medium_config(double etf, int periods = 300) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::medium();
+  cfg.mpc = workloads::medium_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(etf);
+  cfg.sim.jitter = 0.2;  // "uniform random distribution" of exec times
+  cfg.sim.seed = 7;
+  cfg.num_periods = periods;
+  return cfg;
+}
+
+// The paper's Experiment-II profile: 0.5, then +80% at 100Ts, then a 67%
+// drop at 200Ts.
+rts::EtfProfile dynamic_profile() {
+  return rts::EtfProfile::steps({{0.0, 0.5}, {100000.0, 0.9}, {200000.0, 0.33}});
+}
+
+// Figure 5: EUCON holds the set point across etf in [0.1, 1] on all four
+// processors (OPEN would sit at etf * B).
+class MediumSteadyEtf : public ::testing::TestWithParam<double> {};
+
+TEST_P(MediumSteadyEtf, AcceptableUtilization) {
+  const double etf = GetParam();
+  const ExperimentResult res = run_experiment(medium_config(etf));
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto a = metrics::acceptability(res, p);
+    EXPECT_TRUE(a.acceptable())
+        << "etf=" << etf << " P" << p + 1 << " mean=" << a.mean
+        << " sd=" << a.stddev << " set=" << a.set_point;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EtfRange, MediumSteadyEtf,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+TEST(IntegrationMedium, OscillationGrowsWhenUnderestimated) {
+  const double sd_half = metrics::acceptability(run_experiment(medium_config(0.5)), 0).stddev;
+  const double sd_three = metrics::acceptability(run_experiment(medium_config(3.0)), 0).stddev;
+  EXPECT_LT(sd_half, 0.05);
+  EXPECT_GT(sd_three, sd_half);
+}
+
+TEST(IntegrationMedium, OpenUnderutilizesWhenOverestimated) {
+  // The paper: at etf = 0.1, OPEN's utilization is 0.073 vs EUCON's 0.729.
+  ExperimentConfig cfg = medium_config(0.1);
+  cfg.controller = ControllerKind::kOpen;
+  const ExperimentResult res = run_experiment(cfg);
+  const auto a = metrics::utilization_stats(res, 0, 100);
+  EXPECT_NEAR(a.mean(), 0.073, 0.02);
+}
+
+TEST(IntegrationMedium, OpenOverloadsWhenUnderestimated) {
+  ExperimentConfig cfg = medium_config(2.0);
+  cfg.controller = ControllerKind::kOpen;
+  const ExperimentResult res = run_experiment(cfg);
+  // Demand 2 * 0.73 saturates the CPUs.
+  EXPECT_GT(metrics::utilization_stats(res, 0, 100).mean(), 0.95);
+}
+
+// Figures 6 vs 7: under the dynamic profile OPEN swings with the load
+// while EUCON re-converges after each change.
+TEST(IntegrationMedium, Fig6OpenFluctuatesWithDynamicLoad) {
+  ExperimentConfig cfg = medium_config(0.5);
+  cfg.controller = ControllerKind::kOpen;
+  cfg.sim.etf = dynamic_profile();
+  const ExperimentResult res = run_experiment(cfg);
+  const double phase1 = metrics::utilization_stats(res, 0, 50, 100).mean();
+  const double phase2 = metrics::utilization_stats(res, 0, 150, 200).mean();
+  const double phase3 = metrics::utilization_stats(res, 0, 250, 300).mean();
+  // Means scale with the etf steps 0.5 -> 0.9 -> 0.33.
+  EXPECT_NEAR(phase2 / phase1, 0.9 / 0.5, 0.15);
+  EXPECT_NEAR(phase3 / phase1, 0.33 / 0.5, 0.15);
+}
+
+TEST(IntegrationMedium, Fig7EuconReconvergesAfterLoadChanges) {
+  ExperimentConfig cfg = medium_config(0.5);
+  cfg.sim.etf = dynamic_profile();
+  const ExperimentResult res = run_experiment(cfg);
+  // Settled in each phase tail.
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(metrics::acceptability(res, p, 60, 100).acceptable())
+        << "phase 1, P" << p + 1;
+    EXPECT_TRUE(metrics::acceptability(res, p, 160, 200).acceptable())
+        << "phase 2, P" << p + 1;
+    EXPECT_TRUE(metrics::acceptability(res, p, 260, 300).acceptable())
+        << "phase 3, P" << p + 1;
+  }
+  // Re-convergence within ~20 sampling periods of the +80% step at 100Ts
+  // (paper: "within 20Ts").
+  const int settle = metrics::settling_time(res, 0, 100, 0.07, 10);
+  ASSERT_GE(settle, 0);
+  EXPECT_LE(settle, 30);
+}
+
+TEST(IntegrationMedium, Fig8RatesAdaptInTheRightDirection) {
+  ExperimentConfig cfg = medium_config(0.5);
+  cfg.sim.etf = dynamic_profile();
+  const ExperimentResult res = run_experiment(cfg);
+  // Rates drop after the exec-time increase at 100Ts, rise after the drop
+  // at 200Ts.
+  for (std::size_t task : {std::size_t{0}, std::size_t{5}}) {
+    const auto rates = res.rate_series(task);
+    const double before = rates[95];
+    const double overloaded = rates[140];
+    const double relieved = rates[295];
+    EXPECT_LT(overloaded, before) << "task " << task;
+    EXPECT_GT(relieved, overloaded) << "task " << task;
+  }
+}
+
+TEST(IntegrationMedium, SettlingSlowerAfterDownStepThanUpStep) {
+  // §7.3: the settling after 200Ts (smaller gain) is slower than after
+  // 100Ts (larger gain).
+  ExperimentConfig cfg = medium_config(0.5);
+  cfg.sim.etf = dynamic_profile();
+  const ExperimentResult res = run_experiment(cfg);
+  const int settle_up = metrics::settling_time(res, 0, 100, 0.07, 5);
+  const int settle_down = metrics::settling_time(res, 0, 200, 0.07, 5);
+  ASSERT_GE(settle_up, 0);
+  ASSERT_GE(settle_down, 0);
+  EXPECT_GE(settle_down, settle_up);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,126 @@
+// End-to-end reproduction checks on the SIMPLE workload (paper §7.2,
+// Figures 3 and 4): full event-driven simulator + MPC controller.
+#include <gtest/gtest.h>
+
+#include "eucon/eucon.h"
+
+namespace eucon {
+namespace {
+
+ExperimentConfig simple_config(double etf, int periods = 300) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(etf);
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 42;
+  cfg.num_periods = periods;
+  return cfg;
+}
+
+// Figure 3(a): etf = 0.5 — both processors converge to the 0.828 set point.
+TEST(IntegrationSimple, Fig3aConvergesAtEtfHalf) {
+  const ExperimentResult res = run_experiment(simple_config(0.5));
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto a = metrics::acceptability(res, p);
+    EXPECT_TRUE(a.acceptable())
+        << "P" << p + 1 << " mean=" << a.mean << " sd=" << a.stddev;
+  }
+  // The transient starts underutilized and rises (rates increase).
+  EXPECT_LT(res.trace[0].u[0], 0.6);
+  EXPECT_GT(res.trace[40].u[0], 0.75);
+}
+
+// Figure 3(b): etf = 7 — beyond the critical gain, no convergence.
+TEST(IntegrationSimple, Fig3bUnstableAtEtfSeven) {
+  const ExperimentResult res = run_experiment(simple_config(7.0));
+  bool acceptable = true;
+  for (std::size_t p = 0; p < 2; ++p)
+    acceptable = acceptable && metrics::acceptability(res, p).acceptable();
+  EXPECT_FALSE(acceptable);
+  // Oscillation: large standard deviation on P1.
+  EXPECT_GT(metrics::acceptability(res, 0).stddev, 0.05);
+}
+
+// Figure 4's key shape: acceptable performance for moderate etf, rising
+// deviation as execution times are underestimated, divergence at 7+.
+TEST(IntegrationSimple, Fig4DeviationGrowsWithEtf) {
+  const double sd1 = metrics::acceptability(run_experiment(simple_config(1.0)), 0).stddev;
+  const double sd3 = metrics::acceptability(run_experiment(simple_config(3.0)), 0).stddev;
+  const double sd7 = metrics::acceptability(run_experiment(simple_config(7.0)), 0).stddev;
+  EXPECT_LT(sd1, 0.05);
+  EXPECT_LT(sd3, 0.10);  // growing but still bounded oscillation
+  EXPECT_GT(sd7, 0.10);  // clearly oscillating
+  EXPECT_LT(sd1, sd3);
+  EXPECT_LT(sd3, sd7);
+}
+
+// Pessimistic estimation (etf < 1) must NOT underutilize the CPU — the key
+// difference from open-loop scheduling (§6.3).
+TEST(IntegrationSimple, PessimisticEstimatesDoNotUnderutilize) {
+  for (double etf : {0.5, 0.8}) {
+    const ExperimentResult res = run_experiment(simple_config(etf));
+    const auto a = metrics::acceptability(res, 0);
+    EXPECT_TRUE(a.acceptable()) << "etf " << etf;
+    EXPECT_GT(a.mean, 0.80) << "etf " << etf;
+  }
+}
+
+// With Table 1's rate caps (1/Rmax = c_ij), etf below ~0.414 saturates the
+// rates: utilization tops out at 2*etf on P1 (the paper inconsistency
+// documented in DESIGN.md).
+TEST(IntegrationSimple, RateSaturationBelowFeasibleEtf) {
+  const ExperimentResult res = run_experiment(simple_config(0.2));
+  const auto a = metrics::acceptability(res, 0);
+  EXPECT_NEAR(a.mean, 0.4, 0.03);  // 2 * 0.2, not the 0.828 set point
+  // Rates parked at their caps.
+  const auto rates = res.trace.back().rates;
+  EXPECT_NEAR(rates[0], 1.0 / 35.0, 1e-6);
+}
+
+// The relaxed variant reproduces the paper's claimed tracking at etf = 0.2.
+TEST(IntegrationSimple, RelaxedBoundsTrackAtEtfPointTwo) {
+  ExperimentConfig cfg = simple_config(0.2);
+  cfg.spec = workloads::simple_relaxed();
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_TRUE(metrics::acceptability(res, 0).acceptable());
+  EXPECT_TRUE(metrics::acceptability(res, 1).acceptable());
+}
+
+// OPEN at etf != 1 misses the set point in proportion to the estimation
+// error (Figure 5's message, demonstrated on SIMPLE).
+TEST(IntegrationSimple, OpenLoopTracksOnlyAtNominalEtf) {
+  ExperimentConfig cfg = simple_config(1.0);
+  cfg.controller = ControllerKind::kOpen;
+  const auto nominal = metrics::acceptability(run_experiment(cfg), 0);
+  EXPECT_NEAR(nominal.mean, 0.828, 0.05);
+
+  cfg = simple_config(0.5);
+  cfg.controller = ControllerKind::kOpen;
+  const auto under = metrics::acceptability(run_experiment(cfg), 0);
+  EXPECT_NEAR(under.mean, 0.414, 0.05);  // half the set point
+  EXPECT_FALSE(under.acceptable());
+}
+
+// EUCON keeps every processor's utilization no higher than its set point
+// on average (the convergence guarantee of §3.2).
+TEST(IntegrationSimple, UtilizationConvergesBelowOrAtSetPoint) {
+  for (double etf : {0.5, 1.0, 2.0}) {
+    const ExperimentResult res = run_experiment(simple_config(etf));
+    for (std::size_t p = 0; p < 2; ++p) {
+      const auto s = metrics::utilization_stats(res, p, 100);
+      EXPECT_LE(s.mean(), res.set_points[p] + 0.02)
+          << "etf " << etf << " P" << p + 1;
+    }
+  }
+}
+
+// Deadline guarantee: when utilization tracks the Liu–Layland bound from
+// below (etf = 0.5's smooth convergence), subtask deadline misses are rare.
+TEST(IntegrationSimple, SubtaskMissesLowAtModerateLoad) {
+  const ExperimentResult res = run_experiment(simple_config(0.5));
+  EXPECT_LT(res.deadlines.subtask_miss_ratio(), 0.05);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,54 @@
+#include "control/linear_plant.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+
+namespace eucon::control {
+namespace {
+
+using linalg::Vector;
+
+TEST(LinearPlantTest, InitialUtilizationFromRates) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const Vector r0 = workloads::simple().initial_rate_vector();
+  LinearPlant plant(model, Vector{1.0, 1.0}, r0);
+  const Vector expected = model.f * r0;
+  EXPECT_NEAR(plant.utilization()[0], expected[0], 1e-12);
+  EXPECT_NEAR(plant.utilization()[1], expected[1], 1e-12);
+}
+
+TEST(LinearPlantTest, StepFollowsDifferenceEquation) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const Vector r0 = workloads::simple().initial_rate_vector();
+  LinearPlant plant(model, Vector{0.5, 0.25}, r0);  // gains avoid saturation
+  const Vector u0 = plant.utilization();
+  Vector r1 = r0;
+  r1[0] += 0.001;
+  const Vector u1 = plant.step(r1);
+  // Δb = F Δr; u += G Δb (paper eq. 5).
+  EXPECT_NEAR(u1[0], u0[0] + 0.5 * model.f(0, 0) * 0.001, 1e-12);
+  EXPECT_NEAR(u1[1], u0[1] + 0.25 * model.f(1, 0) * 0.001, 1e-12);
+}
+
+TEST(LinearPlantTest, SaturatesAtZeroAndOne) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const Vector r0 = workloads::simple().initial_rate_vector();
+  LinearPlant plant(model, Vector{50.0, 50.0}, r0);
+  EXPECT_LE(plant.utilization()[0], 1.0);
+  Vector tiny(3, 1e-9);
+  const Vector u = plant.step(tiny);  // huge negative Δr, saturate at 0
+  EXPECT_GE(u[0], 0.0);
+  EXPECT_GE(u[1], 0.0);
+}
+
+TEST(LinearPlantTest, RejectsWrongSizes) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  const Vector r0 = workloads::simple().initial_rate_vector();
+  EXPECT_THROW(LinearPlant(model, Vector{1.0}, r0), std::invalid_argument);
+  LinearPlant plant(model, Vector{1.0, 1.0}, r0);
+  EXPECT_THROW(plant.step(Vector{0.1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon::control

@@ -1,0 +1,135 @@
+#include "qp/lsqlin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/qr.h"
+
+namespace eucon::qp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(LsqlinTest, UnconstrainedMatchesQrLeastSquares) {
+  Matrix c{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  Vector d{1.0, 2.9, 5.1, 7.0};
+  LsqlinProblem prob{c, d, Matrix(0, 2), Vector(0), {}, {}};
+  const LsqlinResult res = lsqlin(prob);
+  ASSERT_EQ(res.status, Status::kOptimal);
+  const Vector ref = linalg::least_squares(c, d);
+  EXPECT_NEAR(res.x[0], ref[0], 1e-6);
+  EXPECT_NEAR(res.x[1], ref[1], 1e-6);
+}
+
+TEST(LsqlinTest, BoundsClampSolution) {
+  // Fit single scalar a to minimize ||a*1 - d||, optimum mean(d)=2, ub=1.5.
+  Matrix c{{1.0}, {1.0}, {1.0}};
+  Vector d{1.0, 2.0, 3.0};
+  LsqlinProblem prob;
+  prob.c = c;
+  prob.d = d;
+  prob.a = Matrix(0, 1);
+  prob.b = Vector(0);
+  prob.lb = Vector{0.0};
+  prob.ub = Vector{1.5};
+  const LsqlinResult res = lsqlin(prob);
+  ASSERT_EQ(res.status, Status::kOptimal);
+  EXPECT_NEAR(res.x[0], 1.5, 1e-7);
+}
+
+TEST(LsqlinTest, GeneralInequality) {
+  // min ||x - (2, 2)||^2 s.t. x1 + x2 <= 2 -> x = (1, 1).
+  Matrix c = Matrix::identity(2);
+  Vector d{2.0, 2.0};
+  LsqlinProblem prob;
+  prob.c = c;
+  prob.d = d;
+  prob.a = Matrix{{1.0, 1.0}};
+  prob.b = Vector{2.0};
+  const LsqlinResult res = lsqlin(prob);
+  ASSERT_EQ(res.status, Status::kOptimal);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(res.residual_norm, std::sqrt(2.0), 1e-6);
+}
+
+TEST(LsqlinTest, ResidualNormReported) {
+  Matrix c = Matrix::identity(2);
+  Vector d{1.0, 1.0};
+  LsqlinProblem prob{c, d, Matrix(0, 2), Vector(0), {}, {}};
+  const LsqlinResult res = lsqlin(prob);
+  ASSERT_EQ(res.status, Status::kOptimal);
+  EXPECT_NEAR(res.residual_norm, 0.0, 1e-6);
+}
+
+TEST(LsqlinTest, InfeasibleBoxDetected) {
+  Matrix c = Matrix::identity(1);
+  Vector d{0.0};
+  LsqlinProblem prob;
+  prob.c = c;
+  prob.d = d;
+  prob.a = Matrix(0, 1);
+  prob.b = Vector(0);
+  prob.lb = Vector{2.0};
+  prob.ub = Vector{1.0};  // empty box
+  const LsqlinResult res = lsqlin(prob);
+  EXPECT_EQ(res.status, Status::kInfeasible);
+}
+
+TEST(LsqlinTest, SizeMismatchThrows) {
+  LsqlinProblem prob;
+  prob.c = Matrix(3, 2);
+  prob.d = Vector(2);  // wrong length
+  EXPECT_THROW(lsqlin(prob), std::invalid_argument);
+}
+
+// Property sweep: on random feasible problems the KKT conditions must hold:
+// the (negative) gradient at the optimum lies in the cone of active
+// constraint normals. We verify via a projection test: moving along any
+// feasible direction must not decrease the objective (first order).
+class LsqlinRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsqlinRandom, FirstOrderOptimalityOnRandomProblems) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 4);
+  const std::size_t rows = n + 2;
+
+  Matrix c(rows, n);
+  Vector d(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    d[r] = rng.uniform(-2.0, 2.0);
+    for (std::size_t cc = 0; cc < n; ++cc) c(r, cc) = rng.uniform(-1.0, 1.0);
+  }
+  LsqlinProblem prob;
+  prob.c = c;
+  prob.d = d;
+  prob.a = Matrix(0, n);
+  prob.b = Vector(0);
+  prob.lb = Vector(n, -0.6);
+  prob.ub = Vector(n, 0.6);
+
+  const LsqlinResult res = lsqlin(prob);
+  ASSERT_EQ(res.status, Status::kOptimal) << "seed=" << seed;
+
+  // Sample random feasible perturbations; none may improve the objective.
+  auto objective = [&](const Vector& x) {
+    const Vector r = c * x - d;
+    return r.dot(r);
+  };
+  const double f0 = objective(res.x);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector x = res.x;
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = std::clamp(x[i] + rng.uniform(-0.05, 0.05), -0.6, 0.6);
+    EXPECT_GE(objective(x), f0 - 1e-7) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsqlinRandom, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace eucon::qp

@@ -1,0 +1,59 @@
+#include "control/model.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+
+namespace eucon::control {
+namespace {
+
+TEST(ModelTest, BuiltFromSimpleWorkload) {
+  const PlantModel m = make_plant_model(workloads::simple());
+  EXPECT_EQ(m.num_processors(), 2u);
+  EXPECT_EQ(m.num_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(m.f(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(m.f(1, 2), 45.0);
+  EXPECT_NEAR(m.b[0], 0.828, 5e-4);  // Liu–Layland default
+  EXPECT_DOUBLE_EQ(m.rate_max[0], 1.0 / 35.0);
+}
+
+TEST(ModelTest, ExplicitSetPointsOverrideDefault) {
+  const PlantModel m =
+      make_plant_model(workloads::simple(), linalg::Vector{0.7, 0.6});
+  EXPECT_DOUBLE_EQ(m.b[0], 0.7);
+  EXPECT_DOUBLE_EQ(m.b[1], 0.6);
+}
+
+TEST(ModelTest, RejectsBadSetPoints) {
+  EXPECT_THROW(make_plant_model(workloads::simple(), linalg::Vector{0.7}),
+               std::invalid_argument);  // wrong size
+  EXPECT_THROW(
+      make_plant_model(workloads::simple(), linalg::Vector{0.7, 1.5}),
+      std::invalid_argument);  // > 1
+  EXPECT_THROW(
+      make_plant_model(workloads::simple(), linalg::Vector{0.0, 0.5}),
+      std::invalid_argument);  // <= 0
+}
+
+TEST(ModelTest, ValidateCatchesInconsistentSizes) {
+  PlantModel m = make_plant_model(workloads::simple());
+  m.rate_min = linalg::Vector{0.1};  // wrong size
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(ModelTest, ValidateCatchesNegativeAllocation) {
+  PlantModel m = make_plant_model(workloads::simple());
+  m.f(0, 0) = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(ModelTest, MediumDimensions) {
+  const PlantModel m = make_plant_model(workloads::medium());
+  EXPECT_EQ(m.num_processors(), 4u);
+  EXPECT_EQ(m.num_tasks(), 12u);
+  EXPECT_NEAR(m.b[0], 0.729, 5e-4);  // 7 subtasks on P1 (paper §7.2)
+  EXPECT_NEAR(m.b[1], 0.735, 5e-4);
+}
+
+}  // namespace
+}  // namespace eucon::control

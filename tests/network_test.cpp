@@ -1,0 +1,134 @@
+// Links-as-processors network modeling (§7.1).
+#include "eucon/network.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/eucon.h"
+
+namespace eucon::network {
+namespace {
+
+TEST(NetworkTest, SingleProcessorChainsUnchanged) {
+  rts::SystemSpec s;
+  s.num_processors = 2;
+  rts::TaskSpec t;
+  t.name = "local";
+  t.subtasks = {{0, 10.0}, {0, 5.0}};
+  t.rate_min = 0.001;
+  t.rate_max = 0.05;
+  t.initial_rate = 0.01;
+  s.tasks = {t};
+  const LinkedSystem linked = with_network_links(s);
+  EXPECT_EQ(linked.num_links, 0);
+  EXPECT_EQ(linked.spec.num_processors, 2);
+  EXPECT_EQ(linked.spec.tasks[0].subtasks.size(), 2u);
+}
+
+TEST(NetworkTest, HopsGainLinkSubtasks) {
+  const rts::SystemSpec s = workloads::simple();  // T2 hops P0 -> P1
+  LinkModelParams params;
+  params.transmission_time = 3.0;
+  const LinkedSystem linked = with_network_links(s, params);
+  EXPECT_EQ(linked.num_compute, 2);
+  EXPECT_EQ(linked.num_links, 1);
+  EXPECT_EQ(linked.spec.num_processors, 3);
+  // T2's chain becomes sub -> link -> sub.
+  const auto& t2 = linked.spec.tasks[1];
+  ASSERT_EQ(t2.subtasks.size(), 3u);
+  EXPECT_EQ(t2.subtasks[0].processor, 0);
+  EXPECT_EQ(t2.subtasks[1].processor, linked.link_between(0, 1));
+  EXPECT_DOUBLE_EQ(t2.subtasks[1].estimated_exec, 3.0);
+  EXPECT_EQ(t2.subtasks[2].processor, 1);
+  // Other tasks untouched.
+  EXPECT_EQ(linked.spec.tasks[0].subtasks.size(), 1u);
+  EXPECT_EQ(linked.spec.tasks[2].subtasks.size(), 1u);
+}
+
+TEST(NetworkTest, FullDuplexSeparatesDirections) {
+  rts::SystemSpec s;
+  s.num_processors = 2;
+  auto task = [](std::string name, std::vector<rts::SubtaskSpec> subs) {
+    rts::TaskSpec t;
+    t.name = std::move(name);
+    t.subtasks = std::move(subs);
+    t.rate_min = 0.001;
+    t.rate_max = 0.05;
+    t.initial_rate = 0.01;
+    return t;
+  };
+  s.tasks.push_back(task("fwd", {{0, 10.0}, {1, 10.0}}));
+  s.tasks.push_back(task("rev", {{1, 10.0}, {0, 10.0}}));
+
+  const LinkedSystem duplex = with_network_links(s);
+  EXPECT_EQ(duplex.num_links, 2);
+  EXPECT_NE(duplex.link_between(0, 1), duplex.link_between(1, 0));
+
+  LinkModelParams half;
+  half.full_duplex = false;
+  const LinkedSystem bus = with_network_links(s, half);
+  EXPECT_EQ(bus.num_links, 1);
+  EXPECT_EQ(bus.link_between(0, 1), bus.link_between(1, 0));
+}
+
+TEST(NetworkTest, MediumLinkCount) {
+  const LinkedSystem linked = with_network_links(workloads::medium());
+  EXPECT_EQ(linked.num_compute, 4);
+  // MEDIUM's chains use exactly five directed links: 0->1, 1->2, 2->3,
+  // 3->0 and 3->1 (T8).
+  EXPECT_EQ(linked.num_links, 5);
+  // Subtask count: 25 original + one per hop (13 end-to-end hops).
+  EXPECT_EQ(linked.spec.num_subtasks(), 25u + 13u);
+}
+
+TEST(NetworkTest, LinkUtilizationIsControlled) {
+  // Close the loop on the linked system: EUCON holds link utilization at
+  // the (Liu-Layland) link set points like any processor.
+  LinkModelParams params;
+  params.transmission_time = 4.0;
+  const LinkedSystem linked = with_network_links(workloads::simple(), params);
+  ExperimentConfig cfg;
+  cfg.spec = linked.spec;
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 4;
+  cfg.num_periods = 300;
+  const ExperimentResult res = run_experiment(cfg);
+  // Compute processors still acceptable.
+  for (std::size_t p = 0; p < 2; ++p)
+    EXPECT_TRUE(metrics::acceptability(res, p).acceptable()) << "P" << p + 1;
+  // The link never exceeds its bound (one subtask -> bound 1.0), and its
+  // utilization reflects T2's rate * transmission time.
+  const auto link = metrics::utilization_stats(
+      res, static_cast<std::size_t>(linked.link_between(0, 1)), 100);
+  EXPECT_LT(link.max(), 1.0);
+  EXPECT_GT(link.mean(), 0.01);
+}
+
+TEST(NetworkTest, EndToEndResponseIncludesLinkTime) {
+  LinkModelParams params;
+  params.transmission_time = 10.0;
+  const LinkedSystem linked = with_network_links(workloads::simple(), params);
+  rts::Simulator plain(workloads::simple(), rts::SimOptions{});
+  rts::Simulator with_links(linked.spec, rts::SimOptions{});
+  plain.run_until_units(30000.0);
+  with_links.run_until_units(30000.0);
+  // T2's end-to-end response grows by at least the transmission time.
+  const double plain_mean =
+      plain.deadline_stats().task(1).response_time_units.mean();
+  const double linked_mean =
+      with_links.deadline_stats().task(1).response_time_units.mean();
+  EXPECT_GE(linked_mean, plain_mean + 0.9 * params.transmission_time);
+}
+
+TEST(NetworkTest, RejectsBadParams) {
+  LinkModelParams params;
+  params.transmission_time = 0.0;
+  EXPECT_THROW(with_network_links(workloads::simple(), params),
+               std::invalid_argument);
+  const LinkedSystem linked = with_network_links(workloads::simple());
+  EXPECT_THROW(linked.link_between(0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon::network

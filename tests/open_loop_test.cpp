@@ -1,0 +1,59 @@
+#include "control/open_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+
+namespace eucon::control {
+namespace {
+
+using linalg::Vector;
+
+TEST(OpenLoopTest, DesignSatisfiesBEqualsFr) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  OpenLoopController open(model, workloads::simple().initial_rate_vector());
+  const Vector u = model.f * open.rates();
+  EXPECT_NEAR(u[0], model.b[0], 1e-3);
+  EXPECT_NEAR(u[1], model.b[1], 1e-3);
+}
+
+TEST(OpenLoopTest, DesignedRatesWithinBounds) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  OpenLoopController open(model, workloads::medium().initial_rate_vector());
+  const Vector r = open.rates();
+  for (std::size_t j = 0; j < r.size(); ++j) {
+    EXPECT_GE(r[j], model.rate_min[j] - 1e-12);
+    EXPECT_LE(r[j], model.rate_max[j] + 1e-12);
+  }
+}
+
+TEST(OpenLoopTest, UpdateIgnoresMeasurements) {
+  const PlantModel model = make_plant_model(workloads::simple());
+  OpenLoopController open(model, workloads::simple().initial_rate_vector());
+  const Vector r1 = open.update(Vector{0.1, 0.1});
+  const Vector r2 = open.update(Vector{1.0, 1.0});
+  EXPECT_TRUE(linalg::approx_equal(r1, r2, 0.0));
+}
+
+TEST(OpenLoopTest, ExpectedUtilizationScalesWithEtf) {
+  // The Figure-5 OPEN line: u = etf * B (saturated at 1).
+  const PlantModel model = make_plant_model(workloads::medium());
+  OpenLoopController open(model, workloads::medium().initial_rate_vector());
+  const Vector half = open.expected_utilization(0.5);
+  const Vector twice = open.expected_utilization(2.0);
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    EXPECT_NEAR(half[i], 0.5 * model.b[i], 5e-3);
+    EXPECT_LE(twice[i], 1.0);  // saturates
+  }
+  // etf = 0.1 on MEDIUM: the paper quotes OPEN at 0.073 on P1.
+  EXPECT_NEAR(open.expected_utilization(0.1)[0], 0.073, 5e-3);
+}
+
+TEST(OpenLoopTest, MediumDesignMatchesPaperSetPoint) {
+  const PlantModel model = make_plant_model(workloads::medium());
+  OpenLoopController open(model, workloads::medium().initial_rate_vector());
+  EXPECT_NEAR(open.expected_utilization(1.0)[0], 0.729, 5e-3);
+}
+
+}  // namespace
+}  // namespace eucon::control

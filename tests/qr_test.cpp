@@ -1,0 +1,98 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/lu.h"
+
+namespace eucon::linalg {
+namespace {
+
+Matrix random_tall(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-3.0, 3.0);
+  return m;
+}
+
+TEST(QrTest, SquareExactSolve) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{3.0, 5.0};
+  const Vector x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(QrTest, RequiresTallMatrix) {
+  EXPECT_THROW(Qr(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(QrTest, RankDeficientDetected) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  Qr qr(a);
+  EXPECT_FALSE(qr.full_rank());
+  EXPECT_THROW(qr.solve_least_squares(Vector{1.0, 1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(QrTest, OverdeterminedKnownSolution) {
+  // Fit y = c0 + c1 t through (0,1), (1,3), (2,5): exact line 1 + 2t.
+  Matrix a{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  Vector b{1.0, 3.0, 5.0};
+  const Vector x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(QrTest, ResidualOrthogonalToColumns) {
+  Rng rng(42);
+  const Matrix a = random_tall(10, 4, rng);
+  Vector b(10);
+  for (std::size_t i = 0; i < 10; ++i) b[i] = rng.uniform(-2.0, 2.0);
+  const Vector x = least_squares(a, b);
+  const Vector r = a * x - b;
+  const Vector atr = transpose_times(a, r);
+  EXPECT_LT(atr.norm_inf(), 1e-10);  // normal equations A'(Ax - b) = 0
+}
+
+TEST(QrTest, RFactorIsUpperTriangularAndReproducesGram) {
+  Rng rng(5);
+  const Matrix a = random_tall(8, 5, rng);
+  const Matrix r = Qr(a).r();
+  for (std::size_t i = 1; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  // A'A = R'R (Q orthogonal).
+  EXPECT_TRUE(approx_equal(gram(a), r.transposed() * r, 1e-9));
+}
+
+TEST(QrTest, QtPreservesNorm) {
+  Rng rng(11);
+  const Matrix a = random_tall(9, 6, rng);
+  Qr qr(a);
+  Vector b(9);
+  for (std::size_t i = 0; i < 9; ++i) b[i] = rng.uniform(-1.0, 1.0);
+  EXPECT_NEAR(qr.qt_times(b).norm2(), b.norm2(), 1e-10);
+}
+
+class QrRandomLs : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrRandomLs, MatchesNormalEquations) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(99 + rows * 31 + cols);
+  const Matrix a = random_tall(static_cast<std::size_t>(rows),
+                               static_cast<std::size_t>(cols), rng);
+  Vector b(static_cast<std::size_t>(rows));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform(-2.0, 2.0);
+  const Vector x_qr = least_squares(a, b);
+  // Normal equations via LU (independent path).
+  const Vector x_ne = Lu(gram(a)).solve(transpose_times(a, b));
+  EXPECT_TRUE(approx_equal(x_qr, x_ne, 1e-6)) << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrRandomLs,
+    ::testing::Values(std::pair{3, 3}, std::pair{5, 2}, std::pair{10, 7},
+                      std::pair{20, 5}, std::pair{40, 12}, std::pair{64, 32}));
+
+}  // namespace
+}  // namespace eucon::linalg

@@ -1,0 +1,63 @@
+#include "eucon/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "eucon/workloads.h"
+
+namespace eucon {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.sim.jitter = 0.1;
+  cfg.num_periods = 200;
+  return cfg;
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  const ReplicatedResult res = run_replicated(base_config(), 5, 100, 100);
+  ASSERT_EQ(res.per_processor.size(), 2u);
+  for (const auto& s : res.per_processor) {
+    EXPECT_EQ(s.replicas, 5u);
+    EXPECT_NEAR(s.mean_of_means, 0.828, 0.02);
+    EXPECT_GT(s.ci95_halfwidth, 0.0);
+    EXPECT_LT(s.ci95_halfwidth, 0.01);  // seeds agree tightly here
+    EXPECT_LE(s.min_mean, s.mean_of_means);
+    EXPECT_GE(s.max_mean, s.mean_of_means);
+    EXPECT_EQ(s.acceptable_runs, 5u);
+  }
+}
+
+TEST(ReplicationTest, CapturesSeedVariabilityInUnstableRegime) {
+  ExperimentConfig cfg = base_config();
+  cfg.sim.etf = rts::EtfProfile::constant(7.0);  // unstable
+  cfg.num_periods = 200;
+  const ReplicatedResult res = run_replicated(cfg, 4, 1, 100);
+  // No replica should pass the acceptability criterion.
+  EXPECT_EQ(res.per_processor[0].acceptable_runs, 0u);
+  EXPECT_GT(res.per_processor[0].mean_of_stddevs, 0.05);
+}
+
+TEST(ReplicationTest, DeadlineAveragesReported) {
+  const ReplicatedResult res = run_replicated(base_config(), 3, 1, 100);
+  EXPECT_GE(res.mean_e2e_miss, 0.0);
+  EXPECT_LT(res.mean_e2e_miss, 0.2);
+  EXPECT_LT(res.mean_subtask_miss, 0.1);
+}
+
+TEST(ReplicationTest, NeedsAtLeastTwoReplicas) {
+  EXPECT_THROW(run_replicated(base_config(), 1), std::invalid_argument);
+}
+
+TEST(ReplicationTest, DifferentSeedsActuallyDiffer) {
+  // With jitter on, per-seed means must not be identical.
+  const ReplicatedResult res = run_replicated(base_config(), 4, 7, 100);
+  EXPECT_GT(res.per_processor[0].max_mean - res.per_processor[0].min_mean,
+            0.0);
+}
+
+}  // namespace
+}  // namespace eucon

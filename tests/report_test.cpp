@@ -1,0 +1,85 @@
+#include "eucon/report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "eucon/workloads.h"
+
+namespace eucon::report {
+namespace {
+
+ExperimentResult small_run(rts::SystemSpec* spec_out = nullptr) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.5);
+  cfg.num_periods = 30;
+  if (spec_out) *spec_out = cfg.spec;
+  return run_experiment(cfg);
+}
+
+TEST(ReportTest, UtilizationCsvShape) {
+  const auto res = small_run();
+  std::ostringstream out;
+  write_utilization_csv(res, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,u_P1,u_P2");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 30);
+}
+
+TEST(ReportTest, RatesCsvUsesTaskNames) {
+  rts::SystemSpec spec;
+  const auto res = small_run(&spec);
+  std::ostringstream out;
+  write_rates_csv(res, spec, out);
+  std::string header = out.str().substr(0, out.str().find('\n'));
+  EXPECT_EQ(header, "k,r_T1,r_T2,r_T3");
+}
+
+TEST(ReportTest, RatesCsvRejectsMismatchedSpec) {
+  const auto res = small_run();
+  std::ostringstream out;
+  EXPECT_THROW(write_rates_csv(res, workloads::medium(), out),
+               std::invalid_argument);
+}
+
+TEST(ReportTest, SummaryMentionsEveryProcessor) {
+  const auto res = small_run();
+  std::ostringstream out;
+  write_summary(res, out, 10);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("P1:"), std::string::npos);
+  EXPECT_NE(s.find("P2:"), std::string::npos);
+  EXPECT_NE(s.find("miss ratio"), std::string::npos);
+}
+
+TEST(ReportTest, WriteAllCreatesThreeFiles) {
+  rts::SystemSpec spec;
+  const auto res = small_run(&spec);
+  const std::string prefix = ::testing::TempDir() + "/report_test";
+  write_all(res, spec, prefix);
+  for (const char* suffix :
+       {"_utilization.csv", "_rates.csv", "_summary.txt"}) {
+    std::ifstream in(prefix + suffix);
+    EXPECT_TRUE(in.good()) << suffix;
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_FALSE(first_line.empty()) << suffix;
+  }
+}
+
+TEST(ReportTest, WriteAllRejectsBadPrefix) {
+  rts::SystemSpec spec;
+  const auto res = small_run(&spec);
+  EXPECT_THROW(write_all(res, spec, "/nonexistent_dir_xyz/run"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eucon::report

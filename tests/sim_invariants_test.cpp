@@ -1,0 +1,106 @@
+// Cross-cutting simulator invariants, swept over workloads, seeds and
+// operating conditions.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eucon/eucon.h"
+
+namespace eucon::rts {
+namespace {
+
+struct Scenario {
+  int id;
+  double etf;
+  double jitter;
+  SchedulingPolicy policy;
+};
+
+class SimInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimInvariants, HoldAcrossRandomOperation) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1009 + 11);
+  const SystemSpec spec =
+      seed % 2 ? workloads::medium() : workloads::simple();
+
+  SimOptions opts;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  opts.jitter = seed % 3 == 0 ? 0.0 : 0.2;
+  opts.etf = EtfProfile::constant(rng.uniform(0.2, 4.0));
+  opts.policy = seed % 4 == 0 ? SchedulingPolicy::kEdf
+                              : SchedulingPolicy::kRateMonotonic;
+  Simulator sim(spec, opts);
+
+  const auto rmin = spec.rate_min_vector();
+  const auto rmax = spec.rate_max_vector();
+  std::uint64_t last_released = 0;
+
+  for (int k = 1; k <= 40; ++k) {
+    sim.run_until_units(k * 500.0);
+    const auto u = sim.sample_utilizations();
+
+    // 1. Utilization is a valid fraction on every processor.
+    for (double up : u) {
+      EXPECT_GE(up, 0.0);
+      EXPECT_LE(up, 1.0 + 1e-12);
+    }
+    // 2. Job counters are monotone and consistent.
+    EXPECT_GE(sim.jobs_released(), last_released);
+    last_released = sim.jobs_released();
+    std::uint64_t completed = 0;
+    for (std::size_t t = 0; t < spec.num_tasks(); ++t)
+      completed += sim.deadline_stats().task(t).subtask_jobs_completed;
+    EXPECT_LE(completed + sim.jobs_in_flight(), sim.jobs_released());
+
+    // 3. Random (often out-of-range) rate commands are clamped into the
+    //    per-task boxes.
+    std::vector<double> wild(spec.num_tasks());
+    for (auto& r : wild) r = rng.uniform(1e-6, 0.5);
+    sim.set_rates(wild);
+    sim.run_until_units(k * 500.0 + 250.0);
+    const auto applied = sim.current_rates();
+    for (std::size_t t = 0; t < spec.num_tasks(); ++t) {
+      EXPECT_GE(applied[t], rmin[t] - 1e-12);
+      EXPECT_LE(applied[t], rmax[t] + 1e-12);
+    }
+  }
+
+  // 4. Released instances per task roughly match elapsed / mean period:
+  //    every task kept running throughout.
+  for (std::size_t t = 0; t < spec.num_tasks(); ++t)
+    EXPECT_GT(sim.deadline_stats().task(t).instances_released, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimInvariants, ::testing::Range(1, 17));
+
+// The closed loop never produces an out-of-bounds rate or negative
+// utilization regardless of controller.
+class LoopInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopInvariants, RatesAlwaysInsideBoxes) {
+  ExperimentConfig cfg;
+  cfg.spec = workloads::simple();
+  cfg.mpc = workloads::simple_controller_params();
+  cfg.controller = static_cast<ControllerKind>(GetParam());
+  cfg.sim.etf = EtfProfile::constant(1.5);
+  cfg.sim.jitter = 0.15;
+  cfg.sim.seed = 77;
+  cfg.num_periods = 80;
+  const ExperimentResult res = run_experiment(cfg);
+  for (const auto& rec : res.trace) {
+    for (std::size_t t = 0; t < cfg.spec.num_tasks(); ++t) {
+      EXPECT_GE(rec.rates[t], cfg.spec.tasks[t].rate_min - 1e-12);
+      EXPECT_LE(rec.rates[t], cfg.spec.tasks[t].rate_max + 1e-12);
+    }
+    for (double u : rec.u) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Controllers, LoopInvariants,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace eucon::rts

@@ -1,0 +1,88 @@
+// Fuzz-ish robustness for the spec parser: random corruptions of a valid
+// file must either parse to a valid spec or throw std::invalid_argument —
+// never crash, hang, or return an invalid spec.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "eucon/workloads.h"
+#include "rts/spec_io.h"
+
+namespace eucon::rts {
+namespace {
+
+std::string valid_text() {
+  std::ostringstream out;
+  save_spec(workloads::medium(), out);
+  return out.str();
+}
+
+class SpecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecFuzz, MutatedInputNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 5923 + 1);
+  std::string text = valid_text();
+
+  // Apply a handful of random mutations.
+  const int mutations = 1 + GetParam() % 5;
+  for (int m = 0; m < mutations; ++m) {
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip a character
+        text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 20)));
+        break;
+      case 2:  // duplicate a span
+        text.insert(pos, text.substr(pos, static_cast<std::size_t>(
+                                              rng.uniform_int(1, 30))));
+        break;
+      case 3:  // inject garbage token
+        text.insert(pos, " -9e99 \t nan ");
+        break;
+    }
+  }
+
+  std::istringstream in(text);
+  try {
+    const SystemSpec spec = load_spec(in);
+    // If it parsed, it must be a *valid* spec.
+    EXPECT_NO_THROW(spec.validate());
+  } catch (const std::invalid_argument&) {
+    // Rejection is the expected outcome for most mutations.
+  } catch (const std::exception& e) {
+    FAIL() << "unexpected exception type: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecFuzz, ::testing::Range(1, 61));
+
+TEST(SpecFuzzTest, HugeNumbersRejectedOrHandled) {
+  std::istringstream in(
+      "processors 1\n"
+      "task A max_period 1e308 min_period 1e-308 initial_period 1\n"
+      "  subtask 0 1e308\n");
+  try {
+    const SystemSpec s = load_spec(in);
+    s.validate();
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+TEST(SpecFuzzTest, VeryLongInputTerminates) {
+  std::ostringstream big;
+  big << "processors 2\n";
+  for (int i = 0; i < 5000; ++i) {
+    big << "task T" << i << " max_period 100 min_period 10 initial_period 50\n"
+        << "  subtask " << (i % 2) << " 5\n";
+  }
+  std::istringstream in(big.str());
+  const SystemSpec s = load_spec(in);
+  EXPECT_EQ(s.num_tasks(), 5000u);
+}
+
+}  // namespace
+}  // namespace eucon::rts

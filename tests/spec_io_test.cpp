@@ -1,0 +1,128 @@
+#include "rts/spec_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "eucon/workloads.h"
+
+namespace eucon::rts {
+namespace {
+
+constexpr const char* kSimpleText = R"(
+# SIMPLE (paper Table 1)
+processors 2
+task T1 max_period 700 min_period 35 initial_period 60
+  subtask 0 35
+task T2 max_period 700 min_period 35 initial_period 90
+  subtask 0 35
+  subtask 1 35
+task T3 max_period 900 min_period 45 initial_period 100
+  subtask 1 45
+)";
+
+TEST(SpecIoTest, LoadsSimple) {
+  std::istringstream in(kSimpleText);
+  const SystemSpec s = load_spec(in);
+  EXPECT_EQ(s.num_processors, 2);
+  ASSERT_EQ(s.num_tasks(), 3u);
+  EXPECT_EQ(s.tasks[0].name, "T1");
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].rate_min, 700.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].rate_max, 35.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].initial_rate, 60.0);
+  ASSERT_EQ(s.tasks[1].subtasks.size(), 2u);
+  EXPECT_EQ(s.tasks[1].subtasks[1].processor, 1);
+  EXPECT_DOUBLE_EQ(s.tasks[2].subtasks[0].estimated_exec, 45.0);
+}
+
+TEST(SpecIoTest, LoadedSimpleMatchesBuiltin) {
+  std::istringstream in(kSimpleText);
+  const SystemSpec loaded = load_spec(in);
+  const SystemSpec builtin = workloads::simple();
+  ASSERT_EQ(loaded.num_tasks(), builtin.num_tasks());
+  for (std::size_t i = 0; i < loaded.num_tasks(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.tasks[i].initial_rate,
+                     builtin.tasks[i].initial_rate);
+    EXPECT_EQ(loaded.tasks[i].subtasks.size(),
+              builtin.tasks[i].subtasks.size());
+  }
+  EXPECT_TRUE(linalg::approx_equal(loaded.allocation_matrix(),
+                                   builtin.allocation_matrix(), 1e-12));
+}
+
+TEST(SpecIoTest, RoundTripsAllBuiltinWorkloads) {
+  for (const SystemSpec& spec :
+       {workloads::simple(), workloads::simple_relaxed(), workloads::medium()}) {
+    std::ostringstream out;
+    save_spec(spec, out);
+    std::istringstream in(out.str());
+    const SystemSpec again = load_spec(in);
+    ASSERT_EQ(again.num_tasks(), spec.num_tasks());
+    EXPECT_TRUE(linalg::approx_equal(again.allocation_matrix(),
+                                     spec.allocation_matrix(), 1e-9));
+    for (std::size_t i = 0; i < spec.num_tasks(); ++i) {
+      EXPECT_NEAR(again.tasks[i].rate_min, spec.tasks[i].rate_min, 1e-12);
+      EXPECT_NEAR(again.tasks[i].rate_max, spec.tasks[i].rate_max, 1e-12);
+      EXPECT_NEAR(again.tasks[i].initial_rate, spec.tasks[i].initial_rate,
+                  1e-12);
+    }
+  }
+}
+
+TEST(SpecIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header\n\nprocessors 1  # trailing comment\n"
+      "task A max_period 100 min_period 10 initial_period 50\n"
+      "  subtask 0 5 # the only subtask\n");
+  const SystemSpec s = load_spec(in);
+  EXPECT_EQ(s.num_tasks(), 1u);
+}
+
+TEST(SpecIoTest, ErrorsCarryLineNumbers) {
+  std::istringstream in("processors 1\nbananas 3\n");
+  try {
+    load_spec(in);
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpecIoTest, RejectsMalformedInput) {
+  auto expect_throw = [](const char* text) {
+    std::istringstream in(text);
+    EXPECT_THROW(load_spec(in), std::invalid_argument) << text;
+  };
+  expect_throw("");  // no processors
+  expect_throw("processors 0\n");
+  expect_throw("processors two\n");
+  expect_throw("processors 1\nsubtask 0 5\n");  // subtask before task
+  expect_throw("processors 1\ntask A max_period 10 min_period 5\n");  // no initial
+  expect_throw(
+      "processors 1\ntask A max_period 10 min_period 5 initial_period 7\n"
+      "subtask 0 -3\n");  // negative exec
+  expect_throw(
+      "processors 1\ntask A max_period 10 min_period 5 initial_period 7\n"
+      "subtask 4 3\n");  // processor out of range (validate())
+  expect_throw(
+      "processors 1\ntask A max_period 10 min_period 5 initial_period 7 "
+      "color blue\n");  // unknown attribute
+}
+
+TEST(SpecIoTest, MissingFileRejected) {
+  EXPECT_THROW(load_spec_file("/nonexistent/spec.txt"), std::invalid_argument);
+}
+
+TEST(SpecIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spec_roundtrip.txt";
+  {
+    std::ofstream out(path);
+    save_spec(workloads::medium(), out);
+  }
+  const SystemSpec s = load_spec_file(path);
+  EXPECT_EQ(s.num_subtasks(), 25u);
+}
+
+}  // namespace
+}  // namespace eucon::rts

@@ -1,0 +1,142 @@
+#include "rts/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eucon::rts {
+namespace {
+
+SystemSpec paper_example() {
+  // The example at the end of paper §5: T1 = {T11 on P1}, T2 = {T21 on P1,
+  // T22 on P2}, T3 = {T31 on P2}.
+  SystemSpec s;
+  s.num_processors = 2;
+  TaskSpec t1;
+  t1.name = "T1";
+  t1.subtasks = {{0, 35.0}};
+  t1.rate_min = 1.0 / 700.0;
+  t1.rate_max = 1.0 / 35.0;
+  t1.initial_rate = 1.0 / 60.0;
+  TaskSpec t2 = t1;
+  t2.name = "T2";
+  t2.subtasks = {{0, 35.0}, {1, 35.0}};
+  t2.initial_rate = 1.0 / 90.0;
+  TaskSpec t3 = t1;
+  t3.name = "T3";
+  t3.subtasks = {{1, 45.0}};
+  t3.rate_min = 1.0 / 900.0;
+  t3.rate_max = 1.0 / 45.0;
+  t3.initial_rate = 1.0 / 100.0;
+  s.tasks = {t1, t2, t3};
+  return s;
+}
+
+TEST(SpecTest, ValidSpecPassesValidation) {
+  EXPECT_NO_THROW(paper_example().validate());
+}
+
+TEST(SpecTest, CountsSubtasks) {
+  const SystemSpec s = paper_example();
+  EXPECT_EQ(s.num_tasks(), 3u);
+  EXPECT_EQ(s.num_subtasks(), 4u);
+  const auto counts = s.subtasks_per_processor();
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(SpecTest, AllocationMatrixMatchesPaperExample) {
+  // Paper §5: F = [c11 c21 0; 0 c22 c31].
+  const linalg::Matrix f = paper_example().allocation_matrix();
+  ASSERT_EQ(f.rows(), 2u);
+  ASSERT_EQ(f.cols(), 3u);
+  EXPECT_DOUBLE_EQ(f(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(f(0, 1), 35.0);
+  EXPECT_DOUBLE_EQ(f(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(f(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1, 1), 35.0);
+  EXPECT_DOUBLE_EQ(f(1, 2), 45.0);
+}
+
+TEST(SpecTest, TaskVisitingProcessorTwiceSumsExecutions) {
+  SystemSpec s = paper_example();
+  s.tasks[0].subtasks = {{0, 10.0}, {1, 5.0}, {0, 7.0}};  // revisits P1
+  const linalg::Matrix f = s.allocation_matrix();
+  EXPECT_DOUBLE_EQ(f(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(f(1, 0), 5.0);
+}
+
+TEST(SpecTest, LiuLaylandBounds) {
+  // Two subtasks per processor: B = 2(2^{1/2} - 1) ≈ 0.828 (paper eq. 13).
+  const linalg::Vector b = paper_example().liu_layland_set_points();
+  EXPECT_NEAR(b[0], 2.0 * (std::sqrt(2.0) - 1.0), 1e-12);
+  EXPECT_NEAR(b[0], 0.828, 5e-4);
+  EXPECT_NEAR(b[1], b[0], 1e-12);
+}
+
+TEST(SpecTest, LiuLaylandSingleSubtaskIsOne) {
+  SystemSpec s = paper_example();
+  s.num_processors = 3;
+  s.tasks[2].subtasks = {{2, 45.0}};
+  const linalg::Vector b = s.liu_layland_set_points();
+  EXPECT_DOUBLE_EQ(b[2], 1.0);  // 1 * (2^1 - 1)
+}
+
+TEST(SpecTest, LiuLaylandEmptyProcessorIsOne) {
+  SystemSpec s = paper_example();
+  s.num_processors = 3;  // P3 hosts nothing
+  EXPECT_DOUBLE_EQ(s.liu_layland_set_points()[2], 1.0);
+}
+
+TEST(SpecTest, RateVectors) {
+  const SystemSpec s = paper_example();
+  const auto rmin = s.rate_min_vector();
+  const auto rmax = s.rate_max_vector();
+  const auto r0 = s.initial_rate_vector();
+  EXPECT_DOUBLE_EQ(rmin[2], 1.0 / 900.0);
+  EXPECT_DOUBLE_EQ(rmax[0], 1.0 / 35.0);
+  EXPECT_DOUBLE_EQ(r0[1], 1.0 / 90.0);
+}
+
+TEST(SpecTest, RejectsEmptyChain) {
+  SystemSpec s = paper_example();
+  s.tasks[1].subtasks.clear();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(SpecTest, RejectsBadProcessorIndex) {
+  SystemSpec s = paper_example();
+  s.tasks[0].subtasks[0].processor = 2;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(SpecTest, RejectsInvertedRateBounds) {
+  SystemSpec s = paper_example();
+  s.tasks[0].rate_min = 1.0;
+  s.tasks[0].rate_max = 0.5;
+  s.tasks[0].initial_rate = 0.7;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(SpecTest, RejectsInitialRateOutsideBounds) {
+  SystemSpec s = paper_example();
+  s.tasks[0].initial_rate = 1.0;  // above rate_max
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(SpecTest, RejectsNonPositiveExecution) {
+  SystemSpec s = paper_example();
+  s.tasks[0].subtasks[0].estimated_exec = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(SpecTest, RejectsNoProcessorsOrTasks) {
+  SystemSpec s;
+  s.num_processors = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.num_processors = 1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // no tasks
+}
+
+}  // namespace
+}  // namespace eucon::rts

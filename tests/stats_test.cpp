@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eucon {
+namespace {
+
+TEST(StatsTest, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(StatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StatsTest, KnownPopulation) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example: sigma = 2
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(StatsTest, StatsOverWindow) {
+  std::vector<double> series{10.0, 1.0, 2.0, 3.0, 10.0};
+  const RunningStats s = stats_over(series, 1, 4);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(StatsTest, StatsOverBadWindowThrows) {
+  std::vector<double> series{1.0, 2.0};
+  EXPECT_THROW(stats_over(series, 0, 3), std::invalid_argument);
+  EXPECT_THROW(stats_over(series, 2, 1), std::invalid_argument);
+}
+
+TEST(StatsTest, NumericallyStableForShiftedData) {
+  // Welford must not lose precision on large offsets.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,38 @@
+#include "common/ticks.h"
+
+#include <gtest/gtest.h>
+
+namespace eucon {
+namespace {
+
+TEST(TicksTest, UnitRoundTrip) {
+  EXPECT_EQ(units_to_ticks(1.0), kTicksPerUnit);
+  EXPECT_DOUBLE_EQ(ticks_to_units(kTicksPerUnit), 1.0);
+  EXPECT_EQ(units_to_ticks(35.0), 35 * kTicksPerUnit);
+}
+
+TEST(TicksTest, FractionalUnitsRoundToNearest) {
+  EXPECT_EQ(units_to_ticks(0.5), kTicksPerUnit / 2);
+  EXPECT_EQ(units_to_ticks(1e-7), 0);  // below resolution
+}
+
+TEST(TicksTest, NonPositiveClampsToZero) {
+  EXPECT_EQ(units_to_ticks(0.0), 0);
+  EXPECT_EQ(units_to_ticks(-3.0), 0);
+}
+
+TEST(TicksTest, RateToPeriod) {
+  EXPECT_EQ(rate_to_period_ticks(1.0 / 60.0), 60 * kTicksPerUnit);
+  // 1/Rmax = 35 in Table 1.
+  EXPECT_EQ(rate_to_period_ticks(1.0 / 35.0), 35 * kTicksPerUnit);
+}
+
+TEST(TicksTest, LargeTimesDoNotOverflow) {
+  // 300 sampling periods of 1000 units each is well within range.
+  const Ticks total = 300 * units_to_ticks(1000.0);
+  EXPECT_GT(total, 0);
+  EXPECT_DOUBLE_EQ(ticks_to_units(total), 300000.0);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rts/trace.h"
+
+namespace eucon::rts {
+namespace {
+
+TraceRecord rec(Ticks t_units, TraceKind kind, std::uint64_t job, int task,
+                int subtask, int proc) {
+  TraceRecord r;
+  r.time = t_units * kTicksPerUnit;
+  r.kind = kind;
+  r.job_id = job;
+  r.task = task;
+  r.subtask = subtask;
+  r.processor = proc;
+  return r;
+}
+
+TEST(TraceIoTest, KindNames) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kRelease), "release");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kStart), "start");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kPreempt), "preempt");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kResume), "resume");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCompletion), "completion");
+}
+
+TEST(TraceIoTest, WritesTraceCsv) {
+  TraceLog log;
+  log.record(rec(0, TraceKind::kRelease, 7, 1, 0, 2));
+  log.record(rec(5, TraceKind::kStart, 7, 1, 0, 2));
+  log.record(rec(15, TraceKind::kCompletion, 7, 1, 0, 2));
+  std::ostringstream out;
+  write_trace_csv(log, out);
+  EXPECT_EQ(out.str(),
+            "time_units,kind,job,task,subtask,processor\n"
+            "0,release,7,1,0,2\n"
+            "5,start,7,1,0,2\n"
+            "15,completion,7,1,0,2\n");
+}
+
+TEST(TraceIoTest, WritesSlicesCsv) {
+  ExecutionSlice s;
+  s.begin = 5 * kTicksPerUnit;
+  s.end = 15 * kTicksPerUnit;
+  s.job_id = 7;
+  s.task = 1;
+  s.subtask = 0;
+  s.processor = 2;
+  std::ostringstream out;
+  write_slices_csv({s}, out);
+  EXPECT_EQ(out.str(),
+            "processor,task,subtask,job,begin_units,end_units\n"
+            "2,1,0,7,5,15\n");
+}
+
+TEST(TraceIoTest, EmptyTraceJustHeader) {
+  std::ostringstream out;
+  write_trace_csv(TraceLog{}, out);
+  EXPECT_EQ(out.str(), "time_units,kind,job,task,subtask,processor\n");
+}
+
+TEST(TraceIoTest, RoundTripThroughReconstruction) {
+  TraceLog log;
+  log.record(rec(0, TraceKind::kStart, 1, 0, 0, 0));
+  log.record(rec(4, TraceKind::kPreempt, 1, 0, 0, 0));
+  log.record(rec(4, TraceKind::kStart, 2, 1, 0, 0));
+  log.record(rec(6, TraceKind::kCompletion, 2, 1, 0, 0));
+  log.record(rec(6, TraceKind::kResume, 1, 0, 0, 0));
+  log.record(rec(9, TraceKind::kCompletion, 1, 0, 0, 0));
+  const auto slices = reconstruct_slices(log);
+  std::ostringstream out;
+  write_slices_csv(slices, out);
+  // Three slices: [0,4) job1, [4,6) job2, [6,9) job1.
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  int count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace eucon::rts

@@ -1,0 +1,95 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eucon::linalg {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, FillConstructor) {
+  Vector v(3, 2.5);
+  ASSERT_EQ(v.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, AtThrowsOutOfRange) {
+  Vector v(2);
+  EXPECT_THROW(v.at(2), std::invalid_argument);
+  const Vector& cv = v;
+  EXPECT_THROW(cv.at(5), std::invalid_argument);
+}
+
+TEST(VectorTest, AdditionSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+}
+
+TEST(VectorTest, MismatchedSizesThrow) {
+  Vector a(2), b(3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(VectorTest, ScalarMultiply) {
+  Vector v{1.0, -2.0};
+  const Vector w = 3.0 * v;
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], -6.0);
+  const Vector neg = -v;
+  EXPECT_DOUBLE_EQ(neg[0], -1.0);
+  EXPECT_DOUBLE_EQ(neg[1], 2.0);
+}
+
+TEST(VectorTest, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(VectorTest, Clamped) {
+  Vector v{-1.0, 0.5, 2.0};
+  Vector lo{0.0, 0.0, 0.0};
+  Vector hi{1.0, 1.0, 1.0};
+  const Vector c = v.clamped(lo, hi);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(VectorTest, ApproxEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0 + 1e-10, 2.0 - 1e-10};
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, b, 1e-11));
+  EXPECT_FALSE(approx_equal(a, Vector{1.0}, 1.0));
+}
+
+TEST(VectorTest, ToStringRoundTripFormat) {
+  Vector v{1.5, -2.0};
+  EXPECT_EQ(v.to_string(), "[1.5, -2]");
+}
+
+}  // namespace
+}  // namespace eucon::linalg

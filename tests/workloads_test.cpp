@@ -1,0 +1,137 @@
+#include "eucon/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eucon::workloads {
+namespace {
+
+TEST(WorkloadsTest, SimpleMatchesTable1) {
+  const rts::SystemSpec s = simple();
+  ASSERT_EQ(s.num_tasks(), 3u);
+  EXPECT_EQ(s.num_processors, 2);
+  EXPECT_EQ(s.num_subtasks(), 4u);
+  // T11 on P1, c = 35, 1/Rmax = 35, 1/Rmin = 700, 1/r(0) = 60.
+  EXPECT_EQ(s.tasks[0].subtasks[0].processor, 0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].subtasks[0].estimated_exec, 35.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].rate_max, 35.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].rate_min, 700.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[0].initial_rate, 60.0);
+  // T2 spans P1 and P2 with c = 35 each, 1/r(0) = 90.
+  EXPECT_EQ(s.tasks[1].subtasks[0].processor, 0);
+  EXPECT_EQ(s.tasks[1].subtasks[1].processor, 1);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[1].initial_rate, 90.0);
+  // T31 on P2, c = 45, 1/Rmax = 45, 1/Rmin = 900, 1/r(0) = 100.
+  EXPECT_DOUBLE_EQ(s.tasks[2].subtasks[0].estimated_exec, 45.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[2].rate_max, 45.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[2].rate_min, 900.0);
+  EXPECT_DOUBLE_EQ(1.0 / s.tasks[2].initial_rate, 100.0);
+}
+
+TEST(WorkloadsTest, SimpleSetPointsAre0828) {
+  const auto b = simple().liu_layland_set_points();
+  EXPECT_NEAR(b[0], 0.828, 5e-4);
+  EXPECT_NEAR(b[1], 0.828, 5e-4);
+}
+
+TEST(WorkloadsTest, SimpleRelaxedOnlyWidensMaxRate) {
+  const rts::SystemSpec s = simple_relaxed();
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.tasks[i].rate_max, 0.1);
+    EXPECT_DOUBLE_EQ(s.tasks[i].rate_min, simple().tasks[i].rate_min);
+  }
+}
+
+TEST(WorkloadsTest, MediumMatchesPaperDescription) {
+  const rts::SystemSpec s = medium();
+  EXPECT_EQ(s.num_tasks(), 12u);     // 12 tasks
+  EXPECT_EQ(s.num_subtasks(), 25u);  // 25 subtasks
+  EXPECT_EQ(s.num_processors, 4);    // 4 processors
+  // 8 end-to-end (multi-processor) + 4 local tasks.
+  int e2e = 0, local = 0;
+  for (const auto& t : s.tasks)
+    (t.subtasks.size() > 1 ? e2e : local) += 1;
+  EXPECT_EQ(e2e, 8);
+  EXPECT_EQ(local, 4);
+  // The paper quotes the P1 set point as 0.729.
+  EXPECT_NEAR(s.liu_layland_set_points()[0], 0.729, 5e-4);
+}
+
+TEST(WorkloadsTest, MediumFeasibleAcrossPaperEtfRange) {
+  // For every etf in the Figure-5 sweep there must exist rates within the
+  // box with etf * F r = B (elementwise achievable since F >= 0: check the
+  // corner loads).
+  const rts::SystemSpec s = medium();
+  const auto f = s.allocation_matrix();
+  const auto b = s.liu_layland_set_points();
+  const auto rmin = s.rate_min_vector();
+  const auto rmax = s.rate_max_vector();
+  const auto u_at = [&](const linalg::Vector& r, double etf) {
+    auto u = f * r;
+    u *= etf;
+    return u;
+  };
+  for (double etf : {0.1, 0.5, 1.0, 3.0, 6.0}) {
+    const auto lo = u_at(rmin, etf);
+    const auto hi = u_at(rmax, etf);
+    for (std::size_t p = 0; p < 4; ++p) {
+      EXPECT_LE(lo[p], b[p]) << "etf " << etf << " P" << p;
+      EXPECT_GE(hi[p], b[p]) << "etf " << etf << " P" << p;
+    }
+  }
+}
+
+TEST(WorkloadsTest, ControllerParamsMatchTable2) {
+  const auto s = simple_controller_params();
+  EXPECT_EQ(s.prediction_horizon, 2);
+  EXPECT_EQ(s.control_horizon, 1);
+  EXPECT_DOUBLE_EQ(s.tref_over_ts, 4.0);
+  const auto m = medium_controller_params();
+  EXPECT_EQ(m.prediction_horizon, 4);
+  EXPECT_EQ(m.control_horizon, 2);
+  EXPECT_DOUBLE_EQ(m.tref_over_ts, 4.0);
+}
+
+TEST(WorkloadsTest, RandomWorkloadIsValidAndDeterministic) {
+  RandomWorkloadParams p;
+  const rts::SystemSpec a = random_workload(p, 42);
+  const rts::SystemSpec b = random_workload(p, 42);
+  EXPECT_NO_THROW(a.validate());
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::size_t i = 0; i < a.num_tasks(); ++i)
+    EXPECT_DOUBLE_EQ(a.tasks[i].initial_rate, b.tasks[i].initial_rate);
+}
+
+TEST(WorkloadsTest, RandomWorkloadHonorsShape) {
+  RandomWorkloadParams p;
+  p.num_processors = 3;
+  p.num_tasks = 10;
+  p.min_chain = 2;
+  p.max_chain = 3;
+  const rts::SystemSpec s = random_workload(p, 7);
+  EXPECT_EQ(s.num_tasks(), 10u);
+  for (const auto& t : s.tasks) {
+    EXPECT_GE(t.subtasks.size(), 2u);
+    EXPECT_LE(t.subtasks.size(), 3u);
+    // Consecutive subtasks land on different processors (chains couple).
+    for (std::size_t j = 1; j < t.subtasks.size(); ++j)
+      EXPECT_NE(t.subtasks[j].processor, t.subtasks[j - 1].processor);
+  }
+}
+
+// Sweep: many seeds, always valid.
+class RandomWorkloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomWorkloadSweep, AlwaysValid) {
+  RandomWorkloadParams p;
+  p.num_processors = 1 + GetParam() % 6;
+  p.num_tasks = 1 + GetParam() % 15;
+  EXPECT_NO_THROW(
+      random_workload(p, static_cast<std::uint64_t>(GetParam())).validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSweep, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace eucon::workloads

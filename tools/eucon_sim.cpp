@@ -1,0 +1,286 @@
+// eucon_sim: command-line driver for the EUCON closed loop.
+//
+// Runs any built-in or file-loaded task set under any of the implemented
+// controllers and environments, printing the per-period utilization/rate
+// trace as CSV plus a summary.
+//
+// Examples:
+//   eucon_sim --workload simple --etf 0.5
+//   eucon_sim --workload medium --controller deucon \
+//             --etf-steps 0:0.5,100000:0.9,200000:0.33
+//   eucon_sim --spec mytasks.txt --controller adaptive --etf 5 --summary
+//   eucon_sim --workload simple --trace-out trace.csv --periods 10
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eucon/eucon.h"
+#include "rts/spec_io.h"
+
+namespace {
+
+using namespace eucon;
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --workload simple|simple-relaxed|medium|large   built-in task set\n"
+               "  --spec FILE               load a task set (see rts/spec_io.h)\n"
+               "  --controller eucon|open|pid|deucon|adaptive|fcs-ind   (default eucon)\n"
+               "  --etf X                   constant execution-time factor\n"
+               "  --etf-steps t:f,t:f,...   piecewise execution-time factor\n"
+               "  --jitter X                uniform exec jitter half-width (default 0.1)\n"
+               "  --distribution uniform|exponential|bimodal   exec-time shape\n"
+               "  --seed N                  RNG seed (default 1)\n"
+               "  --periods N               sampling periods to run (default 300)\n"
+               "  --ts X                    sampling period in time units (default 1000)\n"
+               "  --policy rms|edf          per-processor scheduler (default rms)\n"
+               "  --set-points a,b,...      override the Liu-Layland set points\n"
+               "  --loss P                  report-loss probability on the lanes\n"
+               "  --lane-delay X            feedback-lane delay in time units\n"
+               "  --admission               enable the admission governor\n"
+               "  --reallocation            enable the reallocation planner\n"
+               "  --trace-out FILE          write the execution trace as CSV\n"
+               "  --out-prefix P            write P_utilization.csv, P_rates.csv,\n"
+               "                            P_summary.txt\n"
+               "  --quiet                   suppress the per-period CSV\n"
+               "  --summary                 print the summary block\n"
+               "  --diagnose                print plant diagnostics and exit\n",
+               argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    usage(argv0, "bad number for " + flag + ": " + value);
+  }
+}
+
+std::vector<double> parse_list(const char* argv0, const std::string& flag,
+                               const std::string& value) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item = value.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item.empty()) usage(argv0, "empty element in " + flag);
+    out.push_back(parse_double(argv0, flag, item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  std::string workload = "simple";
+  std::optional<std::string> spec_file;
+  std::string trace_out, out_prefix;
+  bool quiet = false, summary = false, diagnose = false;
+  cfg.sim.jitter = 0.1;
+  cfg.sim.seed = 1;
+
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], std::string("missing value after ") + argv[i]);
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--workload") {
+      workload = next_value(i);
+    } else if (flag == "--spec") {
+      spec_file = next_value(i);
+    } else if (flag == "--controller") {
+      const std::string c = next_value(i);
+      if (c == "eucon") cfg.controller = ControllerKind::kEucon;
+      else if (c == "open") cfg.controller = ControllerKind::kOpen;
+      else if (c == "pid") cfg.controller = ControllerKind::kPid;
+      else if (c == "deucon") cfg.controller = ControllerKind::kDecentralized;
+      else if (c == "adaptive") cfg.controller = ControllerKind::kAdaptive;
+      else if (c == "fcs-ind") cfg.controller = ControllerKind::kUncoordinated;
+      else usage(argv[0], "unknown controller: " + c);
+    } else if (flag == "--etf") {
+      cfg.sim.etf = rts::EtfProfile::constant(
+          parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--etf-steps") {
+      std::vector<std::pair<double, double>> steps;
+      for (const std::string& part : [&] {
+             std::vector<std::string> parts;
+             std::string v = next_value(i);
+             std::size_t pos = 0;
+             while (pos <= v.size()) {
+               const std::size_t comma = v.find(',', pos);
+               parts.push_back(v.substr(pos, comma == std::string::npos
+                                                 ? std::string::npos
+                                                 : comma - pos));
+               if (comma == std::string::npos) break;
+               pos = comma + 1;
+             }
+             return parts;
+           }()) {
+        const std::size_t colon = part.find(':');
+        if (colon == std::string::npos)
+          usage(argv[0], "etf step must be time:factor, got " + part);
+        steps.emplace_back(parse_double(argv[0], flag, part.substr(0, colon)),
+                           parse_double(argv[0], flag, part.substr(colon + 1)));
+      }
+      cfg.sim.etf = rts::EtfProfile::steps(std::move(steps));
+    } else if (flag == "--jitter") {
+      cfg.sim.jitter = parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--distribution") {
+      const std::string d = next_value(i);
+      if (d == "uniform")
+        cfg.sim.exec_distribution = rts::ExecDistribution::kUniform;
+      else if (d == "exponential")
+        cfg.sim.exec_distribution = rts::ExecDistribution::kExponential;
+      else if (d == "bimodal")
+        cfg.sim.exec_distribution = rts::ExecDistribution::kBimodal;
+      else
+        usage(argv[0], "unknown distribution: " + d);
+    } else if (flag == "--seed") {
+      cfg.sim.seed = static_cast<std::uint64_t>(
+          parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--periods") {
+      cfg.num_periods =
+          static_cast<int>(parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--ts") {
+      cfg.sampling_period = parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--policy") {
+      const std::string p = next_value(i);
+      if (p == "rms") cfg.sim.policy = rts::SchedulingPolicy::kRateMonotonic;
+      else if (p == "edf") cfg.sim.policy = rts::SchedulingPolicy::kEdf;
+      else usage(argv[0], "unknown policy: " + p);
+    } else if (flag == "--set-points") {
+      cfg.set_points =
+          linalg::Vector(parse_list(argv[0], flag, next_value(i)));
+    } else if (flag == "--loss") {
+      cfg.report_loss_probability =
+          parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--lane-delay") {
+      cfg.sim.feedback_lane_delay =
+          parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--admission") {
+      cfg.enable_admission_control = true;
+    } else if (flag == "--reallocation") {
+      cfg.enable_reallocation = true;
+    } else if (flag == "--trace-out") {
+      trace_out = next_value(i);
+      cfg.sim.enable_trace = true;
+    } else if (flag == "--out-prefix") {
+      out_prefix = next_value(i);
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (flag == "--summary") {
+      summary = true;
+    } else if (flag == "--diagnose") {
+      diagnose = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], "unknown flag: " + flag);
+    }
+  }
+
+  try {
+    if (spec_file) {
+      cfg.spec = rts::load_spec_file(*spec_file);
+    } else if (workload == "simple") {
+      cfg.spec = workloads::simple();
+      cfg.mpc = workloads::simple_controller_params();
+    } else if (workload == "simple-relaxed") {
+      cfg.spec = workloads::simple_relaxed();
+      cfg.mpc = workloads::simple_controller_params();
+    } else if (workload == "medium") {
+      cfg.spec = workloads::medium();
+      cfg.mpc = workloads::medium_controller_params();
+    } else if (workload == "large") {
+      cfg.spec = workloads::large();
+      cfg.mpc = workloads::medium_controller_params();
+    } else {
+      usage(argv[0], "unknown workload: " + workload);
+    }
+    if (spec_file) cfg.mpc = workloads::medium_controller_params();
+
+    if (diagnose) {
+      const auto model = control::make_plant_model(cfg.spec, cfg.set_points);
+      std::printf("%s", control::to_string(control::diagnose_plant(model)).c_str());
+      return 0;
+    }
+
+    const ExperimentResult res = run_experiment(cfg);
+    const std::size_t n = res.set_points.size();
+
+    if (!quiet) {
+      std::printf("k");
+      for (std::size_t p = 0; p < n; ++p) std::printf(",u_P%zu", p + 1);
+      for (std::size_t t = 0; t < cfg.spec.num_tasks(); ++t)
+        std::printf(",r_%s", cfg.spec.tasks[t].name.c_str());
+      std::printf("\n");
+      for (const auto& rec : res.trace) {
+        std::printf("%d", rec.k);
+        for (double u : rec.u) std::printf(",%.6g", u);
+        for (double r : rec.rates) std::printf(",%.6g", r);
+        std::printf("\n");
+      }
+    }
+
+    if (summary) {
+      std::printf("# controller: %s\n", controller_kind_name(cfg.controller));
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t from =
+            res.trace.size() > 100 ? 100 : res.trace.size() / 3;
+        const auto a = metrics::acceptability(res, p, from);
+        std::printf("# P%zu: mean %.4f sigma %.4f set %.4f -> %s\n", p + 1,
+                    a.mean, a.stddev, a.set_point,
+                    a.acceptable() ? "acceptable" : "NOT acceptable");
+      }
+      std::printf("# e2e deadline miss ratio: %.4f\n",
+                  res.deadlines.e2e_miss_ratio());
+      std::printf("# subtask deadline miss ratio: %.4f\n",
+                  res.deadlines.subtask_miss_ratio());
+      std::printf("# controller fallbacks: %llu, lost reports: %llu\n",
+                  static_cast<unsigned long long>(res.controller_fallbacks),
+                  static_cast<unsigned long long>(res.lost_reports));
+      if (cfg.enable_admission_control)
+        std::printf("# admission: %llu suspensions, %llu readmissions\n",
+                    static_cast<unsigned long long>(res.admission_suspensions),
+                    static_cast<unsigned long long>(res.admission_readmissions));
+      if (cfg.enable_reallocation)
+        std::printf("# reallocations executed: %zu\n",
+                    res.reallocations.size());
+    }
+
+    if (!out_prefix.empty()) {
+      report::write_all(res, cfg.spec, out_prefix);
+      std::fprintf(stderr, "wrote %s_{utilization,rates}.csv and %s_summary.txt\n",
+                   out_prefix.c_str(), out_prefix.c_str());
+    }
+
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+        return 1;
+      }
+      rts::write_trace_csv(res.trace_log, out);
+      std::fprintf(stderr, "wrote %zu trace records to %s\n",
+                   res.trace_log.size(), trace_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
