@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3.cpp" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eucon/CMakeFiles/eucon_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/eucon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/eucon_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/eucon_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eucon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eucon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_overload.dir/avionics_overload.cpp.o"
+  "CMakeFiles/avionics_overload.dir/avionics_overload.cpp.o.d"
+  "avionics_overload"
+  "avionics_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_mode.dir/degraded_mode.cpp.o"
+  "CMakeFiles/degraded_mode.dir/degraded_mode.cpp.o.d"
+  "degraded_mode"
+  "degraded_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

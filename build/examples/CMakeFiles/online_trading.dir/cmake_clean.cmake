@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_trading.dir/online_trading.cpp.o"
+  "CMakeFiles/online_trading.dir/online_trading.cpp.o.d"
+  "online_trading"
+  "online_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

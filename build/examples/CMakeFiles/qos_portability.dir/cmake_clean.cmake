@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_portability.dir/qos_portability.cpp.o"
+  "CMakeFiles/qos_portability.dir/qos_portability.cpp.o.d"
+  "qos_portability"
+  "qos_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

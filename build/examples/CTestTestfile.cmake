@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;eucon_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_avionics_overload "/root/repo/build/examples/avionics_overload")
+set_tests_properties(example_avionics_overload PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;eucon_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qos_portability "/root/repo/build/examples/qos_portability")
+set_tests_properties(example_qos_portability PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;eucon_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_online_trading "/root/repo/build/examples/online_trading")
+set_tests_properties(example_online_trading PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;eucon_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_degraded_mode "/root/repo/build/examples/degraded_mode")
+set_tests_properties(example_degraded_mode PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;eucon_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning")
+set_tests_properties(example_capacity_planning PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;eucon_example;/root/repo/examples/CMakeLists.txt;0;")

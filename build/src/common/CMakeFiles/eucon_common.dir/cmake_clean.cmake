@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_common.dir/csv.cpp.o"
+  "CMakeFiles/eucon_common.dir/csv.cpp.o.d"
+  "CMakeFiles/eucon_common.dir/rng.cpp.o"
+  "CMakeFiles/eucon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/eucon_common.dir/stats.cpp.o"
+  "CMakeFiles/eucon_common.dir/stats.cpp.o.d"
+  "libeucon_common.a"
+  "libeucon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

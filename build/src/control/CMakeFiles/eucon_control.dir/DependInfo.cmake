@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/adaptive.cpp" "src/control/CMakeFiles/eucon_control.dir/adaptive.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/adaptive.cpp.o.d"
+  "/root/repo/src/control/admission.cpp" "src/control/CMakeFiles/eucon_control.dir/admission.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/admission.cpp.o.d"
+  "/root/repo/src/control/decentralized.cpp" "src/control/CMakeFiles/eucon_control.dir/decentralized.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/decentralized.cpp.o.d"
+  "/root/repo/src/control/diagnostics.cpp" "src/control/CMakeFiles/eucon_control.dir/diagnostics.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/control/gain_estimator.cpp" "src/control/CMakeFiles/eucon_control.dir/gain_estimator.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/gain_estimator.cpp.o.d"
+  "/root/repo/src/control/linear_plant.cpp" "src/control/CMakeFiles/eucon_control.dir/linear_plant.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/linear_plant.cpp.o.d"
+  "/root/repo/src/control/model.cpp" "src/control/CMakeFiles/eucon_control.dir/model.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/model.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/eucon_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/mpc.cpp.o.d"
+  "/root/repo/src/control/open_loop.cpp" "src/control/CMakeFiles/eucon_control.dir/open_loop.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/open_loop.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/control/CMakeFiles/eucon_control.dir/pid.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/pid.cpp.o.d"
+  "/root/repo/src/control/reallocation.cpp" "src/control/CMakeFiles/eucon_control.dir/reallocation.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/reallocation.cpp.o.d"
+  "/root/repo/src/control/stability.cpp" "src/control/CMakeFiles/eucon_control.dir/stability.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/stability.cpp.o.d"
+  "/root/repo/src/control/uncoordinated.cpp" "src/control/CMakeFiles/eucon_control.dir/uncoordinated.cpp.o" "gcc" "src/control/CMakeFiles/eucon_control.dir/uncoordinated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/eucon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/eucon_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/eucon_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eucon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

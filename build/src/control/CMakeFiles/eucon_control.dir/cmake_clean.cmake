@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_control.dir/adaptive.cpp.o"
+  "CMakeFiles/eucon_control.dir/adaptive.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/admission.cpp.o"
+  "CMakeFiles/eucon_control.dir/admission.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/decentralized.cpp.o"
+  "CMakeFiles/eucon_control.dir/decentralized.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/diagnostics.cpp.o"
+  "CMakeFiles/eucon_control.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/gain_estimator.cpp.o"
+  "CMakeFiles/eucon_control.dir/gain_estimator.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/linear_plant.cpp.o"
+  "CMakeFiles/eucon_control.dir/linear_plant.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/model.cpp.o"
+  "CMakeFiles/eucon_control.dir/model.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/mpc.cpp.o"
+  "CMakeFiles/eucon_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/open_loop.cpp.o"
+  "CMakeFiles/eucon_control.dir/open_loop.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/pid.cpp.o"
+  "CMakeFiles/eucon_control.dir/pid.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/reallocation.cpp.o"
+  "CMakeFiles/eucon_control.dir/reallocation.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/stability.cpp.o"
+  "CMakeFiles/eucon_control.dir/stability.cpp.o.d"
+  "CMakeFiles/eucon_control.dir/uncoordinated.cpp.o"
+  "CMakeFiles/eucon_control.dir/uncoordinated.cpp.o.d"
+  "libeucon_control.a"
+  "libeucon_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eucon/experiment.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/experiment.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/experiment.cpp.o.d"
+  "/root/repo/src/eucon/feedback_lane.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/feedback_lane.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/feedback_lane.cpp.o.d"
+  "/root/repo/src/eucon/metrics.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/metrics.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/metrics.cpp.o.d"
+  "/root/repo/src/eucon/network.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/network.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/network.cpp.o.d"
+  "/root/repo/src/eucon/replication.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/replication.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/replication.cpp.o.d"
+  "/root/repo/src/eucon/report.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/report.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/report.cpp.o.d"
+  "/root/repo/src/eucon/workloads.cpp" "src/eucon/CMakeFiles/eucon_lib.dir/workloads.cpp.o" "gcc" "src/eucon/CMakeFiles/eucon_lib.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/eucon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/eucon_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/eucon_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eucon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eucon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

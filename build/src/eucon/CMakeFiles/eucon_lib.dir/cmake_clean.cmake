@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_lib.dir/experiment.cpp.o"
+  "CMakeFiles/eucon_lib.dir/experiment.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/feedback_lane.cpp.o"
+  "CMakeFiles/eucon_lib.dir/feedback_lane.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/metrics.cpp.o"
+  "CMakeFiles/eucon_lib.dir/metrics.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/network.cpp.o"
+  "CMakeFiles/eucon_lib.dir/network.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/replication.cpp.o"
+  "CMakeFiles/eucon_lib.dir/replication.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/report.cpp.o"
+  "CMakeFiles/eucon_lib.dir/report.cpp.o.d"
+  "CMakeFiles/eucon_lib.dir/workloads.cpp.o"
+  "CMakeFiles/eucon_lib.dir/workloads.cpp.o.d"
+  "libeucon_lib.a"
+  "libeucon_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/eucon_linalg.dir/eig.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/eucon_linalg.dir/lu.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/eucon_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/eucon_linalg.dir/qr.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/eucon_linalg.dir/vector.cpp.o"
+  "CMakeFiles/eucon_linalg.dir/vector.cpp.o.d"
+  "libeucon_linalg.a"
+  "libeucon_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

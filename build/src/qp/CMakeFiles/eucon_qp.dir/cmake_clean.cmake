@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_qp.dir/active_set.cpp.o"
+  "CMakeFiles/eucon_qp.dir/active_set.cpp.o.d"
+  "CMakeFiles/eucon_qp.dir/lsqlin.cpp.o"
+  "CMakeFiles/eucon_qp.dir/lsqlin.cpp.o.d"
+  "libeucon_qp.a"
+  "libeucon_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rts/analysis.cpp" "src/rts/CMakeFiles/eucon_rts.dir/analysis.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/analysis.cpp.o.d"
+  "/root/repo/src/rts/deadline_stats.cpp" "src/rts/CMakeFiles/eucon_rts.dir/deadline_stats.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/deadline_stats.cpp.o.d"
+  "/root/repo/src/rts/etf.cpp" "src/rts/CMakeFiles/eucon_rts.dir/etf.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/etf.cpp.o.d"
+  "/root/repo/src/rts/processor.cpp" "src/rts/CMakeFiles/eucon_rts.dir/processor.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/processor.cpp.o.d"
+  "/root/repo/src/rts/simulator.cpp" "src/rts/CMakeFiles/eucon_rts.dir/simulator.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/simulator.cpp.o.d"
+  "/root/repo/src/rts/spec.cpp" "src/rts/CMakeFiles/eucon_rts.dir/spec.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/spec.cpp.o.d"
+  "/root/repo/src/rts/spec_io.cpp" "src/rts/CMakeFiles/eucon_rts.dir/spec_io.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/spec_io.cpp.o.d"
+  "/root/repo/src/rts/trace.cpp" "src/rts/CMakeFiles/eucon_rts.dir/trace.cpp.o" "gcc" "src/rts/CMakeFiles/eucon_rts.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eucon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eucon_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

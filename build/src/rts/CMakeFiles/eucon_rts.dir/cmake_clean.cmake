@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_rts.dir/analysis.cpp.o"
+  "CMakeFiles/eucon_rts.dir/analysis.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/deadline_stats.cpp.o"
+  "CMakeFiles/eucon_rts.dir/deadline_stats.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/etf.cpp.o"
+  "CMakeFiles/eucon_rts.dir/etf.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/processor.cpp.o"
+  "CMakeFiles/eucon_rts.dir/processor.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/simulator.cpp.o"
+  "CMakeFiles/eucon_rts.dir/simulator.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/spec.cpp.o"
+  "CMakeFiles/eucon_rts.dir/spec.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/spec_io.cpp.o"
+  "CMakeFiles/eucon_rts.dir/spec_io.cpp.o.d"
+  "CMakeFiles/eucon_rts.dir/trace.cpp.o"
+  "CMakeFiles/eucon_rts.dir/trace.cpp.o.d"
+  "libeucon_rts.a"
+  "libeucon_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_stats_test.dir/deadline_stats_test.cpp.o"
+  "CMakeFiles/deadline_stats_test.dir/deadline_stats_test.cpp.o.d"
+  "deadline_stats_test"
+  "deadline_stats_test.pdb"
+  "deadline_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_test.dir/decentralized_test.cpp.o"
+  "CMakeFiles/decentralized_test.dir/decentralized_test.cpp.o.d"
+  "decentralized_test"
+  "decentralized_test.pdb"
+  "decentralized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eig_test.dir/eig_test.cpp.o"
+  "CMakeFiles/eig_test.dir/eig_test.cpp.o.d"
+  "eig_test"
+  "eig_test.pdb"
+  "eig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etf_test.dir/etf_test.cpp.o"
+  "CMakeFiles/etf_test.dir/etf_test.cpp.o.d"
+  "etf_test"
+  "etf_test.pdb"
+  "etf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

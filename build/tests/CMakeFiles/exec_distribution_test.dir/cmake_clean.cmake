@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_distribution_test.dir/exec_distribution_test.cpp.o"
+  "CMakeFiles/exec_distribution_test.dir/exec_distribution_test.cpp.o.d"
+  "exec_distribution_test"
+  "exec_distribution_test.pdb"
+  "exec_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_lane_test.dir/feedback_lane_test.cpp.o"
+  "CMakeFiles/feedback_lane_test.dir/feedback_lane_test.cpp.o.d"
+  "feedback_lane_test"
+  "feedback_lane_test.pdb"
+  "feedback_lane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_lane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

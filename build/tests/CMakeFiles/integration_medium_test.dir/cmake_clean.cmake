@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_medium_test.dir/integration_medium_test.cpp.o"
+  "CMakeFiles/integration_medium_test.dir/integration_medium_test.cpp.o.d"
+  "integration_medium_test"
+  "integration_medium_test.pdb"
+  "integration_medium_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

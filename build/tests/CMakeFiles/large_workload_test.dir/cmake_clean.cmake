@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_workload_test.dir/large_workload_test.cpp.o"
+  "CMakeFiles/large_workload_test.dir/large_workload_test.cpp.o.d"
+  "large_workload_test"
+  "large_workload_test.pdb"
+  "large_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_plant_test.dir/linear_plant_test.cpp.o"
+  "CMakeFiles/linear_plant_test.dir/linear_plant_test.cpp.o.d"
+  "linear_plant_test"
+  "linear_plant_test.pdb"
+  "linear_plant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_plant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

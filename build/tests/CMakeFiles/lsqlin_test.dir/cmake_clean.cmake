@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsqlin_test.dir/lsqlin_test.cpp.o"
+  "CMakeFiles/lsqlin_test.dir/lsqlin_test.cpp.o.d"
+  "lsqlin_test"
+  "lsqlin_test.pdb"
+  "lsqlin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsqlin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_loop_test.dir/open_loop_test.cpp.o"
+  "CMakeFiles/open_loop_test.dir/open_loop_test.cpp.o.d"
+  "open_loop_test"
+  "open_loop_test.pdb"
+  "open_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

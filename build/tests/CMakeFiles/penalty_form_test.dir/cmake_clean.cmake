@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/penalty_form_test.dir/penalty_form_test.cpp.o"
+  "CMakeFiles/penalty_form_test.dir/penalty_form_test.cpp.o.d"
+  "penalty_form_test"
+  "penalty_form_test.pdb"
+  "penalty_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/penalty_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pid_test.dir/pid_test.cpp.o"
+  "CMakeFiles/pid_test.dir/pid_test.cpp.o.d"
+  "pid_test"
+  "pid_test.pdb"
+  "pid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

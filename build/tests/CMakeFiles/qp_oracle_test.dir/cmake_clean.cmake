@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_oracle_test.dir/qp_oracle_test.cpp.o"
+  "CMakeFiles/qp_oracle_test.dir/qp_oracle_test.cpp.o.d"
+  "qp_oracle_test"
+  "qp_oracle_test.pdb"
+  "qp_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_test.dir/qr_test.cpp.o"
+  "CMakeFiles/qr_test.dir/qr_test.cpp.o.d"
+  "qr_test"
+  "qr_test.pdb"
+  "qr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reallocation_test.dir/reallocation_test.cpp.o"
+  "CMakeFiles/reallocation_test.dir/reallocation_test.cpp.o.d"
+  "reallocation_test"
+  "reallocation_test.pdb"
+  "reallocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reallocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_fuzz_test.dir/spec_fuzz_test.cpp.o"
+  "CMakeFiles/spec_fuzz_test.dir/spec_fuzz_test.cpp.o.d"
+  "spec_fuzz_test"
+  "spec_fuzz_test.pdb"
+  "spec_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticks_test.dir/ticks_test.cpp.o"
+  "CMakeFiles/ticks_test.dir/ticks_test.cpp.o.d"
+  "ticks_test"
+  "ticks_test.pdb"
+  "ticks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

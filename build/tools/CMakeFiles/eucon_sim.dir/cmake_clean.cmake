@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eucon_sim.dir/eucon_sim.cpp.o"
+  "CMakeFiles/eucon_sim.dir/eucon_sim.cpp.o.d"
+  "eucon_sim"
+  "eucon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eucon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_simple_summary "/root/repo/build/tools/eucon_sim" "--workload" "simple" "--etf" "0.5" "--periods" "60" "--quiet" "--summary")
+set_tests_properties(cli_simple_summary PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_medium_dynamic "/root/repo/build/tools/eucon_sim" "--workload" "medium" "--controller" "adaptive" "--etf-steps" "0:0.5,30000:0.9" "--periods" "60" "--quiet" "--summary")
+set_tests_properties(cli_medium_dynamic PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose "/root/repo/build/tools/eucon_sim" "--workload" "large" "--diagnose")
+set_tests_properties(cli_diagnose PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_edf_policy "/root/repo/build/tools/eucon_sim" "--workload" "medium" "--policy" "edf" "--set-points" "0.9,0.9,0.9,0.9" "--periods" "40" "--quiet" "--summary")
+set_tests_properties(cli_edf_policy PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/eucon_sim" "--no-such-flag")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
