@@ -207,7 +207,7 @@ int main() {
                 adaptive.mean, adaptive.stddev);
     if (etf >= 2.0 && adaptive.stddev > fixed.stddev)
       adaptive_always_smoother = false;
-    if (etf == 5.0) {
+    if (etf == 5.0) {  // eucon-lint: allow(float-equality)
       adaptive_sd_at_5 = adaptive.stddev;
       fixed_sd_at_5 = fixed.stddev;
     }

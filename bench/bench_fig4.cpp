@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "eucon/eucon.h"
 
 using namespace eucon;
@@ -48,7 +49,7 @@ std::vector<double> etf_grid() {
 const Point& at(const std::vector<Point>& pts, double etf) {
   for (const auto& p : pts)
     if (std::abs(p.etf - etf) < 1e-9) return p;
-  throw std::logic_error("etf grid point missing");
+  EUCON_FAIL("etf grid point missing");
 }
 
 }  // namespace

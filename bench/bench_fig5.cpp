@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "eucon/eucon.h"
 
 using namespace eucon;
@@ -68,7 +69,7 @@ int main() {
   auto at = [&](double etf) -> const Row& {
     for (const auto& r : rows)
       if (std::abs(r.etf - etf) < 1e-9) return r;
-    throw std::logic_error("missing etf row");
+    EUCON_FAIL("missing etf row");
   };
 
   // EUCON acceptable across [0.1, 1].

@@ -50,8 +50,8 @@ int main() {
     for (std::size_t c = 0; c < model.f.cols(); ++c) row.push_back(model.f(r, c));
     bench::print_row(row);
   }
-  checks.expect(model.f(0, 0) == 35.0 && model.f(0, 1) == 35.0 &&
-                    model.f(1, 1) == 35.0 && model.f(1, 2) == 45.0,
+  checks.expect(model.f(0, 0) == 35.0 && model.f(0, 1) == 35.0 &&  // eucon-lint: allow(float-equality)
+                    model.f(1, 1) == 35.0 && model.f(1, 2) == 45.0,  // eucon-lint: allow(float-equality)
                 "F matches [c11 c21 0; 0 c22 c31]");
 
   std::printf("\n# Derived: Liu-Layland set points (eq. 13)\n");

@@ -1,14 +1,52 @@
-// Precondition / invariant checking macros.
+// Precondition / invariant checking macros and numeric guards.
 //
 // EUCON_REQUIRE is for preconditions on public APIs (misuse by the caller)
 // and throws std::invalid_argument. EUCON_ASSERT is for internal invariants
 // and throws std::logic_error; it stays enabled in release builds because
 // every call site is far from any hot loop's inner body.
+//
+// EUCON_FAIL / EUCON_FAIL_INVALID are the only sanctioned way to raise an
+// error outside these macros: every `throw` in the project lives in this
+// header so exception types and messages stay uniform (and eucon_lint's
+// raw-throw rule enforces it).
+//
+// EUCON_CHECK_FINITE_* are the numeric-guard layer: compiled in only when
+// EUCON_NUMERIC_CHECKS is defined (cmake -DEUCON_NUMERIC_CHECKS=ON), they
+// sweep operands/results of linalg and solver operations with std::isfinite
+// and throw eucon::NumericError naming the first offending operation, entry
+// and shape — so a NaN is pinpointed at its origin instead of surfacing in
+// a report many sampling periods later. When the option is off every guard
+// macro expands to ((void)0): arguments are not evaluated and no code is
+// generated.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+namespace eucon {
+
+// Thrown by the numeric-guard layer on the first non-finite value.
+class NumericError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Checked narrowing conversion: static_cast that throws (via EUCON_ASSERT
+// semantics) when the value does not survive the round trip. Use instead of
+// raw static_cast<int>(x) on std::size_t quantities.
+template <typename To, typename From>
+constexpr To narrow(From value) {
+  const To result = static_cast<To>(value);
+  if (std::cmp_not_equal(result, value))
+    throw std::logic_error("internal invariant violated: lossy narrowing conversion");
+  return result;
+}
+
+}  // namespace eucon
 
 namespace eucon::detail {
 
@@ -28,6 +66,42 @@ namespace eucon::detail {
   throw std::logic_error(os.str());
 }
 
+[[noreturn]] inline void throw_runtime(const std::string& msg) {
+  throw std::runtime_error(msg);
+}
+
+[[noreturn]] inline void throw_invalid(const std::string& msg) {
+  throw std::invalid_argument(msg);
+}
+
+[[noreturn]] inline void throw_nonfinite(const char* op, std::size_t rows,
+                                         std::size_t cols, std::size_t flat_index,
+                                         double value) {
+  std::ostringstream os;
+  os << "non-finite value in " << op << ": ";
+  if (rows == 1 && cols == 1) {
+    os << "scalar";
+  } else if (cols == 1) {
+    os << "entry " << flat_index << " of " << rows << "-vector";
+  } else {
+    os << "entry (" << flat_index / cols << ',' << flat_index % cols << ") of "
+       << rows << 'x' << cols << " matrix";
+  }
+  os << " is " << value;
+  throw NumericError(os.str());
+}
+
+inline void check_finite_scalar(const char* op, double v) {
+  if (!std::isfinite(v)) throw_nonfinite(op, 1, 1, 0, v);
+}
+
+inline void check_finite_range(const char* op, const double* data,
+                               std::size_t rows, std::size_t cols) {
+  const std::size_t n = rows * cols;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(data[i])) throw_nonfinite(op, rows, cols, i, data[i]);
+}
+
 }  // namespace eucon::detail
 
 #define EUCON_REQUIRE(cond, msg)                                             \
@@ -39,3 +113,41 @@ namespace eucon::detail {
   do {                                                                       \
     if (!(cond)) ::eucon::detail::throw_assert(#cond, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// Unconditional failures (data/config errors vs. caller misuse).
+#define EUCON_FAIL(msg) ::eucon::detail::throw_runtime((msg))
+#define EUCON_FAIL_INVALID(msg) ::eucon::detail::throw_invalid((msg))
+
+// ---------------------------------------------------------------------------
+// Numeric guards. EUCON_CHECK_FINITE_VEC / _MAT are duck-typed: any object
+// with data()/size() (resp. data()/rows()/cols()) works, so linalg types
+// never need to be visible here.
+// ---------------------------------------------------------------------------
+#ifdef EUCON_NUMERIC_CHECKS
+
+namespace eucon {
+inline constexpr bool kNumericChecksEnabled = true;
+}
+
+#define EUCON_CHECK_FINITE_SCALAR(op, v) \
+  ::eucon::detail::check_finite_scalar((op), (v))
+#define EUCON_CHECK_FINITE_RANGE(op, data, rows, cols) \
+  ::eucon::detail::check_finite_range((op), (data), (rows), (cols))
+#define EUCON_CHECK_FINITE_VEC(op, vec) \
+  ::eucon::detail::check_finite_range((op), (vec).data().data(), (vec).size(), 1)
+#define EUCON_CHECK_FINITE_MAT(op, mat)                                   \
+  ::eucon::detail::check_finite_range((op), (mat).data().data(), (mat).rows(), \
+                                      (mat).cols())
+
+#else  // !EUCON_NUMERIC_CHECKS — guards compile to nothing.
+
+namespace eucon {
+inline constexpr bool kNumericChecksEnabled = false;
+}
+
+#define EUCON_CHECK_FINITE_SCALAR(op, v) ((void)0)
+#define EUCON_CHECK_FINITE_RANGE(op, data, rows, cols) ((void)0)
+#define EUCON_CHECK_FINITE_VEC(op, vec) ((void)0)
+#define EUCON_CHECK_FINITE_MAT(op, mat) ((void)0)
+
+#endif  // EUCON_NUMERIC_CHECKS

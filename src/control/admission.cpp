@@ -48,7 +48,7 @@ const std::vector<bool>& AdmissionGovernor::update(const Vector& u,
     bool all_saturated = true;
     bool any_enabled = false;
     for (std::size_t j = 0; j < model_.num_tasks(); ++j) {
-      if (model_.f(p, j) == 0.0 || !enabled_[j]) continue;
+      if (model_.f(p, j) == 0.0 || !enabled_[j]) continue;  // eucon-lint: allow(float-equality)
       any_enabled = true;
       if (!rate_saturated(rates, j)) all_saturated = false;
     }
@@ -96,7 +96,7 @@ const std::vector<bool>& AdmissionGovernor::update(const Vector& u,
       if (enabled_[j]) continue;
       bool fits = true;
       for (std::size_t p = 0; p < model_.num_processors(); ++p) {
-        if (model_.f(p, j) == 0.0) continue;
+        if (model_.f(p, j) == 0.0) continue;  // eucon-lint: allow(float-equality)
         const double added = model_.f(p, j) * model_.rate_min[j];
         if (u[p] + added > model_.b[p] - params_.readmit_margin) fits = false;
       }

@@ -197,6 +197,7 @@ void MpcController::build_constraints(const Vector& u, bool with_util_rows,
 Vector MpcController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == active_model_.num_processors(),
                 "utilization vector size mismatch");
+  EUCON_CHECK_FINITE_VEC("MpcController::update input u", u);
   ++update_count_;
   const std::size_t m = active_model_.num_tasks();
   const std::size_t cols = m * static_cast<std::size_t>(params_.control_horizon);
@@ -252,6 +253,7 @@ Vector MpcController::update(const Vector& u) {
   const Vector new_rates = (rates_ + dr).clamped(active_model_.rate_min, active_model_.rate_max);
   dr_prev_ = new_rates - rates_;
   rates_ = new_rates;
+  EUCON_CHECK_FINITE_VEC("MpcController::update result rates", rates_);
   return rates_;
 }
 

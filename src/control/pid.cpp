@@ -33,7 +33,7 @@ Vector PidController::update(const Vector& u) {
   // utilization delta per processor.
   Vector db = params_.ki * e;
   if (have_prev_) db += params_.kp * (e - e_prev_);
-  if (params_.kd != 0.0 && have_prev2_)
+  if (params_.kd != 0.0 && have_prev2_)  // eucon-lint: allow(float-equality)
     db += params_.kd * (e - 2.0 * e_prev_ + e_prev2_);
 
   // Minimum-norm Δr with F Δr = Δb:  Δr = F^T (F F^T)^{-1} Δb.

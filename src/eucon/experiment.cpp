@@ -48,7 +48,7 @@ std::unique_ptr<control::Controller> make_controller(
       return std::make_unique<control::UncoordinatedFcsController>(
           model, config.fcs, r0);
   }
-  throw std::invalid_argument("unknown controller kind");
+  EUCON_FAIL_INVALID("unknown controller kind");
 }
 
 std::vector<double> ExperimentResult::utilization_series(

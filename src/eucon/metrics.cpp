@@ -68,7 +68,7 @@ int settling_time(const ExperimentResult& result, std::size_t processor,
   for (std::size_t i = event_k; i < result.trace.size(); ++i) {
     if (std::abs(result.trace[i].u.at(processor) - target) <= band) {
       if (++in_band >= hold)
-        return static_cast<int>(i - static_cast<std::size_t>(hold - 1) - event_k);
+        return eucon::narrow<int>(i - static_cast<std::size_t>(hold - 1) - event_k);
     } else {
       in_band = 0;
     }

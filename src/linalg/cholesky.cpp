@@ -1,7 +1,6 @@
 #include "linalg/cholesky.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "common/check.h"
 
@@ -9,6 +8,7 @@ namespace eucon::linalg {
 
 Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(n_, n_) {
   EUCON_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  EUCON_CHECK_FINITE_MAT("Cholesky::Cholesky input", a);
   for (std::size_t j = 0; j < n_ && spd_; ++j) {
     double d = a(j, j);
     for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
@@ -27,7 +27,7 @@ Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(n_, n_) {
 
 Vector Cholesky::solve(const Vector& b) const {
   EUCON_REQUIRE(b.size() == n_, "Cholesky solve size mismatch");
-  if (!spd_) throw std::runtime_error("Cholesky::solve: matrix not SPD");
+  if (!spd_) EUCON_FAIL("Cholesky::solve: matrix not SPD");
   Vector y(n_);
   for (std::size_t i = 0; i < n_; ++i) {
     double acc = b[i];
@@ -40,6 +40,7 @@ Vector Cholesky::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= l_(j, ii) * x[j];
     x[ii] = acc / l_(ii, ii);
   }
+  EUCON_CHECK_FINITE_VEC("Cholesky::solve result", x);
   return x;
 }
 

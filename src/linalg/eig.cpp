@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "common/check.h"
 
@@ -20,13 +19,13 @@ Matrix hessenberg(const Matrix& a) {
     double norm = 0.0;
     for (std::size_t i = k + 1; i < n; ++i) norm += h(i, k) * h(i, k);
     norm = std::sqrt(norm);
-    if (norm == 0.0) continue;
+    if (norm == 0.0) continue;  // eucon-lint: allow(float-equality)
     const double alpha = h(k + 1, k) >= 0 ? -norm : norm;
     double vtv = 0.0;
     for (std::size_t i = k + 1; i < n; ++i) v[i] = h(i, k);
     v[k + 1] -= alpha;
     for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
-    if (vtv == 0.0) continue;
+    if (vtv == 0.0) continue;  // eucon-lint: allow(float-equality)
     const double beta = 2.0 / vtv;
 
     // H := P H P with P = I - beta v v^T (v supported on rows k+1..n-1).
@@ -60,7 +59,7 @@ inline double sign_of(double a, double b) { return b >= 0 ? std::abs(a) : -std::
 // formulation exactly.
 void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
                      std::vector<double>& wi) {
-  const int n = static_cast<int>(hess.rows());
+  const int n = eucon::narrow<int>(hess.rows());
   wr.assign(n + 1, 0.0);
   wi.assign(n + 1, 0.0);
 
@@ -73,7 +72,7 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
   double anorm = 0.0;
   for (int i = 1; i <= n; ++i)
     for (int j = std::max(i - 1, 1); j <= n; ++j) anorm += std::abs(a[i][j]);
-  if (anorm == 0.0) return;  // zero matrix: all eigenvalues zero
+  if (anorm == 0.0) return;  // zero matrix: all eigenvalues zero  eucon-lint: allow(float-equality)
 
   int nn = n;
   double t = 0.0;
@@ -83,7 +82,7 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
     do {
       for (l = nn; l >= 2; --l) {
         double s = std::abs(a[l - 1][l - 1]) + std::abs(a[l][l]);
-        if (s == 0.0) s = anorm;
+        if (s == 0.0) s = anorm;  // eucon-lint: allow(float-equality)
         if (std::abs(a[l][l - 1]) + s == s) {
           a[l][l - 1] = 0.0;
           break;
@@ -105,7 +104,7 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
           if (q >= 0.0) {  // real pair
             z = p + sign_of(z, p);
             wr[nn - 1] = wr[nn] = x + z;
-            if (z != 0.0) wr[nn] = x - w / z;
+            if (z != 0.0) wr[nn] = x - w / z;  // eucon-lint: allow(float-equality)
             wi[nn - 1] = wi[nn] = 0.0;
           } else {  // complex conjugate pair
             wr[nn - 1] = wr[nn] = x + p;
@@ -114,7 +113,7 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
           nn -= 2;
         } else {  // no root yet: do a double QR sweep
           if (its == 60)
-            throw std::runtime_error("eigenvalues: QR iteration did not converge");
+            EUCON_FAIL("eigenvalues: QR iteration did not converge");
           if (its == 10 || its == 20 || its == 30 || its == 40 || its == 50) {
             // Exceptional shift to break (rare) cycling.
             t += x;
@@ -134,9 +133,11 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
             q = a[m + 1][m + 1] - z - rr - ss;
             r = a[m + 2][m + 1];
             const double scale = std::abs(p) + std::abs(q) + std::abs(r);
-            p /= scale;
-            q /= scale;
-            r /= scale;
+            if (scale != 0.0) {  // p = q = r = 0 would make 0/0 poison the shift  eucon-lint: allow(float-equality)
+              p /= scale;
+              q /= scale;
+              r /= scale;
+            }
             if (m == l) break;
             const double u = std::abs(a[m][m - 1]) * (std::abs(q) + std::abs(r));
             const double v =
@@ -155,14 +156,14 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
               r = 0.0;
               if (k != nn - 1) r = a[k + 2][k - 1];
               x = std::abs(p) + std::abs(q) + std::abs(r);
-              if (x != 0.0) {
+              if (x != 0.0) {  // eucon-lint: allow(float-equality)
                 p /= x;
                 q /= x;
                 r /= x;
               }
             }
             const double s = sign_of(std::sqrt(p * p + q * q + r * r), p);
-            if (s == 0.0) continue;
+            if (s == 0.0) continue;  // eucon-lint: allow(float-equality)
             if (k == m) {
               if (l != m) a[k][k - 1] = -a[k][k - 1];
             } else {
@@ -204,6 +205,7 @@ void hqr_eigenvalues(const Matrix& hess, std::vector<double>& wr,
 
 std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
   EUCON_REQUIRE(a.rows() == a.cols(), "eigenvalues requires a square matrix");
+  EUCON_CHECK_FINITE_MAT("eigenvalues input", a);
   const std::size_t n = a.rows();
   std::vector<std::complex<double>> out;
   if (n == 0) return out;
@@ -212,6 +214,8 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
   const Matrix h = hessenberg(a);
   std::vector<double> wr, wi;
   hqr_eigenvalues(h, wr, wi);
+  EUCON_CHECK_FINITE_RANGE("eigenvalues result (real parts)", wr.data(), wr.size(), 1);
+  EUCON_CHECK_FINITE_RANGE("eigenvalues result (imaginary parts)", wi.data(), wi.size(), 1);
   out.reserve(n);
   for (std::size_t i = 1; i <= n; ++i) out.emplace_back(wr[i], wi[i]);
   return out;

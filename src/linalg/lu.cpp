@@ -1,7 +1,6 @@
 #include "linalg/lu.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "common/check.h"
 
@@ -14,10 +13,11 @@ constexpr double kPivotTol = 1e-13;
 
 Lu::Lu(const Matrix& a) : n_(a.rows()), lu_(a), piv_(n_) {
   EUCON_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  EUCON_CHECK_FINITE_MAT("Lu::Lu input", a);
   for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
 
   double scale = lu_.norm_inf();
-  if (scale == 0.0) scale = 1.0;
+  if (scale == 0.0) scale = 1.0;  // eucon-lint: allow(float-equality)
 
   for (std::size_t k = 0; k < n_; ++k) {
     // Partial pivoting: largest magnitude in column k at/below the diagonal.
@@ -44,7 +44,7 @@ Lu::Lu(const Matrix& a) : n_(a.rows()), lu_(a), piv_(n_) {
     for (std::size_t r = k + 1; r < n_; ++r) {
       const double m = lu_(r, k) * inv_pivot;
       lu_(r, k) = m;
-      if (m == 0.0) continue;
+      if (m == 0.0) continue;  // eucon-lint: allow(float-equality)
       for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
@@ -58,7 +58,7 @@ double Lu::determinant() const {
 
 Vector Lu::solve(const Vector& b) const {
   EUCON_REQUIRE(b.size() == n_, "LU solve size mismatch");
-  if (!invertible_) throw std::runtime_error("Lu::solve: singular matrix");
+  if (!invertible_) EUCON_FAIL("Lu::solve: singular matrix");
   Vector x(n_);
   // Forward substitution with permuted rhs (L has unit diagonal).
   for (std::size_t i = 0; i < n_; ++i) {
@@ -72,6 +72,7 @@ Vector Lu::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
+  EUCON_CHECK_FINITE_VEC("Lu::solve result", x);
   return x;
 }
 
@@ -94,7 +95,7 @@ std::size_t rank(const Matrix& a, double tol) {
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < cols; ++c)
       scale = std::max(scale, std::abs(m(r, c)));
-  if (scale == 0.0) return 0;
+  if (scale == 0.0) return 0;  // eucon-lint: allow(float-equality)
   const double threshold = tol * scale;
 
   std::size_t rank_count = 0;
@@ -111,7 +112,7 @@ std::size_t rank(const Matrix& a, double tol) {
     const double inv = 1.0 / m(pivot_row, col);
     for (std::size_t r = pivot_row + 1; r < rows; ++r) {
       const double factor = m(r, col) * inv;
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // eucon-lint: allow(float-equality)
       for (std::size_t c = col; c < cols; ++c)
         m(r, c) -= factor * m(pivot_row, c);
     }

@@ -43,17 +43,20 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   EUCON_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix size mismatch in +=");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  EUCON_CHECK_FINITE_MAT("Matrix::operator+=", *this);
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   EUCON_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix size mismatch in -=");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  EUCON_CHECK_FINITE_MAT("Matrix::operator-=", *this);
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
   for (double& x : data_) x *= s;
+  EUCON_CHECK_FINITE_MAT("Matrix::operator*=", *this);
   return *this;
 }
 
@@ -144,10 +147,11 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
+      if (aik == 0.0) continue;  // eucon-lint: allow(float-equality)
       for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
     }
   }
+  EUCON_CHECK_FINITE_MAT("Matrix::operator*(Matrix, Matrix)", c);
   return c;
 }
 
@@ -159,6 +163,7 @@ Vector operator*(const Matrix& a, const Vector& x) {
     for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
     y[i] = acc;
   }
+  EUCON_CHECK_FINITE_VEC("Matrix::operator*(Matrix, Vector)", y);
   return y;
 }
 
@@ -167,9 +172,10 @@ Vector transpose_times(const Matrix& a, const Vector& x) {
   Vector y(a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
-    if (xi == 0.0) continue;
+    if (xi == 0.0) continue;  // eucon-lint: allow(float-equality)
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
   }
+  EUCON_CHECK_FINITE_VEC("transpose_times", y);
   return y;
 }
 
@@ -183,6 +189,7 @@ Matrix gram(const Matrix& a) {
       g(j, i) = acc;
     }
   }
+  EUCON_CHECK_FINITE_MAT("gram", g);
   return g;
 }
 

@@ -31,6 +31,10 @@ class Matrix {
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
 
+  // Row-major backing store (rows*cols entries).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s);

@@ -1,7 +1,6 @@
 #include "linalg/qr.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "common/check.h"
 
@@ -14,8 +13,9 @@ constexpr double kRankTol = 1e-12;
 Qr::Qr(const Matrix& a)
     : m_(a.rows()), n_(a.cols()), qr_(a), beta_(n_, 0.0), vk_head_(n_, 0.0) {
   EUCON_REQUIRE(m_ >= n_, "QR requires rows >= cols");
+  EUCON_CHECK_FINITE_MAT("Qr::Qr input", a);
   double scale = qr_.frobenius_norm();
-  if (scale == 0.0) scale = 1.0;
+  if (scale == 0.0) scale = 1.0;  // eucon-lint: allow(float-equality)
 
   for (std::size_t k = 0; k < n_; ++k) {
     // Householder reflection zeroing column k below the diagonal.
@@ -31,7 +31,7 @@ Qr::Qr(const Matrix& a)
     qr_(k, k) = alpha;                     // R(k,k)
     double vtv = vkk * vkk;
     for (std::size_t i = k + 1; i < m_; ++i) vtv += qr_(i, k) * qr_(i, k);
-    if (vtv == 0.0) continue;
+    if (vtv == 0.0) continue;  // eucon-lint: allow(float-equality)
     beta_[k] = 2.0 / vtv;
     vk_head_[k] = vkk;
 
@@ -51,7 +51,7 @@ Vector Qr::qt_times(const Vector& b) const {
   EUCON_REQUIRE(b.size() == m_, "qt_times size mismatch");
   Vector y = b;
   for (std::size_t k = 0; k < n_; ++k) {
-    if (beta_[k] == 0.0) continue;
+    if (beta_[k] == 0.0) continue;  // eucon-lint: allow(float-equality)
     const double vkk = vk_head_[k];
     double dot = vkk * y[k];
     for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * y[i];
@@ -71,7 +71,7 @@ Matrix Qr::r() const {
 
 Vector Qr::solve_least_squares(const Vector& b) const {
   if (!full_rank_)
-    throw std::runtime_error("Qr::solve_least_squares: rank-deficient matrix");
+    EUCON_FAIL("Qr::solve_least_squares: rank-deficient matrix");
   Vector y = qt_times(b);
   Vector x(n_);
   for (std::size_t ii = n_; ii-- > 0;) {
@@ -79,6 +79,7 @@ Vector Qr::solve_least_squares(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= qr_(ii, j) * x[j];
     x[ii] = acc / qr_(ii, ii);
   }
+  EUCON_CHECK_FINITE_VEC("Qr::solve_least_squares result", x);
   return x;
 }
 

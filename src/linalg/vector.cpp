@@ -21,17 +21,20 @@ double Vector::at(std::size_t i) const {
 Vector& Vector::operator+=(const Vector& rhs) {
   EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
   for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  EUCON_CHECK_FINITE_VEC("Vector::operator+=", *this);
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& rhs) {
   EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in -=");
   for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  EUCON_CHECK_FINITE_VEC("Vector::operator-=", *this);
   return *this;
 }
 
 Vector& Vector::operator*=(double s) {
   for (double& x : data_) x *= s;
+  EUCON_CHECK_FINITE_VEC("Vector::operator*=", *this);
   return *this;
 }
 
@@ -39,6 +42,7 @@ double Vector::dot(const Vector& rhs) const {
   EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in dot");
   double acc = 0.0;
   for (std::size_t i = 0; i < size(); ++i) acc += data_[i] * rhs.data_[i];
+  EUCON_CHECK_FINITE_SCALAR("Vector::dot", acc);
   return acc;
 }
 

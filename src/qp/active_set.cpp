@@ -68,6 +68,10 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
   EUCON_REQUIRE(h_in.rows() == n && h_in.cols() == n, "H size mismatch");
   EUCON_REQUIRE(a.rows() == b.size(), "A/b size mismatch");
   EUCON_REQUIRE(a.rows() == 0 || a.cols() == n, "A column count mismatch");
+  EUCON_CHECK_FINITE_MAT("solve_qp input H", h_in);
+  EUCON_CHECK_FINITE_VEC("solve_qp input f", f);
+  EUCON_CHECK_FINITE_MAT("solve_qp input A", a);
+  EUCON_CHECK_FINITE_VEC("solve_qp input b", b);
 
   // Regularize H so every KKT system with independent rows is nonsingular.
   Matrix h = h_in;
@@ -112,12 +116,13 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
       for (std::size_t k = 0; k < working.size(); ++k) {
         if (lambda[k] < worst) {
           worst = lambda[k];
-          most_negative = static_cast<int>(k);
+          most_negative = eucon::narrow<int>(k);
         }
       }
       if (most_negative < 0) {
         res.status = Status::kOptimal;
         res.objective = objective_value(h_in, f, res.x);
+        EUCON_CHECK_FINITE_VEC("solve_qp result", res.x);
         return res;
       }
       working.erase(working.begin() + most_negative);
@@ -140,7 +145,7 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
       const double step = room / a_p;
       if (step < alpha) {
         alpha = step;
-        blocking = static_cast<int>(i);
+        blocking = eucon::narrow<int>(i);
       }
     }
 
@@ -150,6 +155,7 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
 
   res.status = Status::kMaxIterations;
   res.objective = objective_value(h_in, f, res.x);
+  EUCON_CHECK_FINITE_VEC("solve_qp result", res.x);
   return res;
 }
 

@@ -13,6 +13,8 @@ LsqlinResult lsqlin(const LsqlinProblem& prob, const Vector* x0,
   EUCON_REQUIRE(prob.c.rows() == prob.d.size(), "lsqlin: C/d size mismatch");
   EUCON_REQUIRE(prob.lb.empty() || prob.lb.size() == n, "lsqlin: lb size");
   EUCON_REQUIRE(prob.ub.empty() || prob.ub.size() == n, "lsqlin: ub size");
+  EUCON_CHECK_FINITE_MAT("lsqlin input C", prob.c);
+  EUCON_CHECK_FINITE_VEC("lsqlin input d", prob.d);
 
   // 0.5 x'Hx + f'x with H = 2 C'C, f = -2 C'd reproduces ||Cx-d||^2 up to
   // the constant d'd.
@@ -55,6 +57,7 @@ LsqlinResult lsqlin(const LsqlinProblem& prob, const Vector* x0,
     const Vector r = prob.c * out.x - prob.d;
     out.residual_norm = r.norm2();
   }
+  EUCON_CHECK_FINITE_VEC("lsqlin result", out.x);
   return out;
 }
 

@@ -16,7 +16,7 @@ EtfProfile EtfProfile::constant(double factor) {
 
 EtfProfile EtfProfile::steps(std::vector<std::pair<double, double>> steps) {
   EUCON_REQUIRE(!steps.empty(), "etf profile needs at least one step");
-  EUCON_REQUIRE(steps.front().first == 0.0, "etf profile must start at time 0");
+  EUCON_REQUIRE(steps.front().first == 0.0, "etf profile must start at time 0");  // eucon-lint: allow(float-equality)
   EtfProfile p;
   Ticks prev = -1;
   for (const auto& [time_units, factor] : steps) {
@@ -72,7 +72,7 @@ ExecutionTimeModel::ExecutionTimeModel(EtfProfile profile, double jitter,
 double ExecutionTimeModel::multiplier() {
   switch (params_.distribution) {
     case ExecDistribution::kUniform:
-      return params_.jitter == 0.0
+      return params_.jitter == 0.0  // eucon-lint: allow(float-equality)
                  ? 1.0
                  : rng_.uniform(1.0 - params_.jitter, 1.0 + params_.jitter);
     case ExecDistribution::kExponential: {

@@ -69,8 +69,8 @@ Simulator::Simulator(SystemSpec spec, SimOptions options)
 Simulator::~Simulator() = default;
 
 int Simulator::subtask_index(int task, int subtask) const {
-  return static_cast<int>(subtask_base_[static_cast<std::size_t>(task)] +
-                          static_cast<std::size_t>(subtask));
+  return eucon::narrow<int>(subtask_base_[static_cast<std::size_t>(task)] +
+                            static_cast<std::size_t>(subtask));
 }
 
 void Simulator::run_until(Ticks t) {
@@ -285,7 +285,12 @@ void Simulator::on_rate_change(const Event& e) {
   if (options_.policy == SchedulingPolicy::kRateMonotonic) {
     for (auto& proc : processors_) {
       proc.reprioritize(
-          [this](const Job& j) { return period_ticks(j.task); }, now_);
+          [this](const Job& j) {
+            // Injected overhead jobs (task < 0) keep their key: they have no
+            // period and already outrank every application job.
+            return j.task < 0 ? j.priority_key : period_ticks(j.task);
+          },
+          now_);
     }
   }
 }

@@ -10,8 +10,8 @@ namespace eucon::rts {
 namespace {
 
 [[noreturn]] void parse_error(int line, const std::string& what) {
-  throw std::invalid_argument("spec parse error at line " +
-                              std::to_string(line) + ": " + what);
+  EUCON_FAIL_INVALID("spec parse error at line " + std::to_string(line) + ": " +
+                     what);
 }
 
 double parse_positive(const std::string& token, int line, const char* what) {
@@ -65,7 +65,7 @@ SystemSpec load_spec(std::istream& in) {
         else
           parse_error(line_no, "unknown task attribute '" + key + "'");
       }
-      if (max_period == 0.0 || min_period == 0.0 || initial_period == 0.0)
+      if (max_period == 0.0 || min_period == 0.0 || initial_period == 0.0)  // eucon-lint: allow(float-equality)
         parse_error(line_no,
                     "task needs max_period, min_period and initial_period");
       task.rate_min = 1.0 / max_period;
@@ -92,7 +92,7 @@ SystemSpec load_spec(std::istream& in) {
   }
 
   if (!have_processors)
-    throw std::invalid_argument("spec parse error: missing 'processors' line");
+    EUCON_FAIL_INVALID("spec parse error: missing 'processors' line");
   spec.validate();
   return spec;
 }

@@ -1,0 +1,125 @@
+// EUCON_REQUIRE / EUCON_ASSERT / EUCON_FAIL semantics, message formatting,
+// eucon::narrow, and the numeric-guard macros in their *disabled* mode (the
+// enabled mode lives in numeric_guard_test.cpp, which compiles with
+// EUCON_NUMERIC_CHECKS defined).
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+TEST(CheckTest, RequirePassesOnTrueCondition) {
+  EXPECT_NO_THROW(EUCON_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(CheckTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(EUCON_REQUIRE(false, "nope"), std::invalid_argument);
+}
+
+TEST(CheckTest, RequireMessageNamesConditionFileAndDetail) {
+  try {
+    EUCON_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "EUCON_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("requirement failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("check_test.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("two is not less than one"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckTest, RequireEmptyDetailOmitsSeparator) {
+  try {
+    EUCON_REQUIRE(false, "");
+    FAIL() << "EUCON_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("—"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckTest, AssertThrowsLogicError) {
+  EXPECT_THROW(EUCON_ASSERT(false, "invariant"), std::logic_error);
+  EXPECT_NO_THROW(EUCON_ASSERT(true, "invariant"));
+}
+
+TEST(CheckTest, AssertMessageSaysInvariantViolated) {
+  try {
+    EUCON_ASSERT(0 == 1, "broken");
+    FAIL() << "EUCON_ASSERT did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("internal invariant violated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("broken"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckTest, AssertConditionOnlyEvaluatedOnce) {
+  int calls = 0;
+  EUCON_ASSERT(++calls > 0, "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, FailThrowsRuntimeErrorWithExactMessage) {
+  try {
+    EUCON_FAIL("solver exploded");
+    FAIL() << "EUCON_FAIL did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "solver exploded");
+  }
+}
+
+TEST(CheckTest, FailInvalidThrowsInvalidArgument) {
+  EXPECT_THROW(EUCON_FAIL_INVALID("bad input"), std::invalid_argument);
+}
+
+TEST(CheckTest, NarrowRoundTripsInRangeValues) {
+  EXPECT_EQ(eucon::narrow<int>(std::size_t{42}), 42);
+  EXPECT_EQ(eucon::narrow<int>(std::size_t{0}), 0);
+  EXPECT_EQ(eucon::narrow<std::size_t>(7), std::size_t{7});
+}
+
+TEST(CheckTest, NarrowThrowsOnLossyConversion) {
+  const std::size_t too_big =
+      static_cast<std::size_t>(std::numeric_limits<int>::max()) + 1;
+  EXPECT_THROW(eucon::narrow<int>(too_big), std::logic_error);
+  EXPECT_THROW(eucon::narrow<std::size_t>(-1), std::logic_error);
+}
+
+#ifndef EUCON_NUMERIC_CHECKS
+
+// In the default build the numeric guards must compile to nothing: the
+// argument expressions are not even evaluated, so a poisoned operand
+// costs zero cycles and never throws.
+TEST(NumericGuardDisabledTest, ScalarGuardDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  [[maybe_unused]] auto poison = [&evaluations] {
+    ++evaluations;
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  EXPECT_NO_THROW(EUCON_CHECK_FINITE_SCALAR("off-mode", poison()));
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(NumericGuardDisabledTest, RangeGuardDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  [[maybe_unused]] auto data = [&evaluations]() -> const double* {
+    ++evaluations;
+    return nullptr;  // would crash if the guard dereferenced it
+  };
+  EXPECT_NO_THROW(EUCON_CHECK_FINITE_RANGE("off-mode", data(), 3, 3));
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(NumericGuardDisabledTest, EnabledFlagReportsOff) {
+  EXPECT_FALSE(eucon::kNumericChecksEnabled);
+}
+
+#endif  // !EUCON_NUMERIC_CHECKS
+
+}  // namespace

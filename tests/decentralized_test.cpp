@@ -35,8 +35,9 @@ TEST(DecentralizedTest, NeighborhoodsCoverCoupledProcessors) {
     // Every processor a locally owned task touches is in the neighborhood.
     for (std::size_t j : ctrl.owned_tasks(p))
       for (std::size_t q = 0; q < model.num_processors(); ++q)
-        if (model.f(q, j) > 0.0)
+        if (model.f(q, j) > 0.0) {
           EXPECT_NE(std::find(nb.begin(), nb.end(), q), nb.end());
+        }
   }
 }
 

@@ -58,7 +58,9 @@ TEST(FeatureInteractionTest, TraceReflectsSuspension) {
   const Ticks cut = units_to_ticks(3100.0);
   for (const auto& r : sim.trace().records()) {
     if (r.kind != TraceKind::kRelease) continue;
-    if (r.task == 1) EXPECT_LE(r.time, cut);
+    if (r.task == 1) {
+      EXPECT_LE(r.time, cut);
+    }
   }
 }
 
@@ -124,8 +126,9 @@ TEST(FeatureInteractionTest, SuspendResumeKeepsGuardSeparation) {
     if (r.kind != TraceKind::kRelease || r.task != 0 || r.subtask != 0)
       continue;
     auto it = last_release.find(r.task);
-    if (it != last_release.end())
+    if (it != last_release.end()) {
       EXPECT_GE(r.time - it->second, period - 1) << "guard separation";
+    }
     last_release[r.task] = r.time;
   }
 }

@@ -20,14 +20,18 @@ TEST(FeedbackLanesTest, LossRepeatsLastDelivered) {
   const Vector first = lanes.deliver(Vector{0.5});
   // Whatever the first outcome, subsequent losses must repeat it.
   const Vector second = lanes.deliver(Vector{0.9});
-  if (lanes.lost_reports() >= 2) EXPECT_DOUBLE_EQ(second[0], first[0]);
+  if (lanes.lost_reports() >= 2) {
+    EXPECT_DOUBLE_EQ(second[0], first[0]);
+  }
 }
 
 TEST(FeedbackLanesTest, InitialLossReportsZero) {
   // Before anything was delivered, a lost report reads as "no load".
   FeedbackLanes lanes(1, 0.999999, 3);
   const Vector seen = lanes.deliver(Vector{0.7});
-  if (lanes.lost_reports() == 1) EXPECT_DOUBLE_EQ(seen[0], 0.0);
+  if (lanes.lost_reports() == 1) {
+    EXPECT_DOUBLE_EQ(seen[0], 0.0);
+  }
 }
 
 TEST(FeedbackLanesTest, LossRateMatchesProbability) {

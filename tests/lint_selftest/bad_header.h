@@ -1,0 +1,7 @@
+// Fixture: header without #pragma once and with a file-scope
+// using-namespace. Both must fire.
+#include <vector>
+
+using namespace std;
+
+inline int fixture_bad_header() { return 1; }

@@ -1,0 +1,8 @@
+// Fixture: banned-random fires on rand/srand and wall-clock seeding.
+#include <cstdlib>
+#include <ctime>
+
+int fixture_banned_random() {
+  srand(time(nullptr));
+  return rand();
+}

@@ -1,0 +1,8 @@
+// Fixture: float-equality fires on ==/!= against floating literals,
+// but not on integer comparisons.
+bool fixture_float_eq(double x, int n) {
+  bool a = x == 0.0;
+  bool b = 1.5 != x;
+  bool c = n == 0;
+  return a || b || c;
+}

@@ -1,0 +1,7 @@
+// Fixture: narrowing-size-cast fires on static_cast<int> of size-like
+// expressions.
+#include <vector>
+
+int fixture_narrow_cast(const std::vector<double>& v) {
+  return static_cast<int>(v.size());
+}

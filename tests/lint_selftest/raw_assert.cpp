@@ -1,0 +1,8 @@
+// Fixture: raw-assert must fire on plain assert(), but not on
+// static_assert or EUCON_ASSERT.
+#include <cassert>
+
+void fixture_raw_assert(int x) {
+  assert(x > 0);
+  static_assert(sizeof(int) >= 2, "ok");
+}

@@ -1,0 +1,6 @@
+// Fixture: raw-throw fires on any throw outside common/check.h.
+#include <stdexcept>
+
+void fixture_raw_throw(bool bad) {
+  if (bad) throw std::runtime_error("boom");
+}

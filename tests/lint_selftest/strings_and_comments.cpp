@@ -1,0 +1,6 @@
+// Fixture: banned patterns inside comments and string literals must not
+// fire: assert(x), throw, rand(), time(nullptr), x == 0.0.
+const char* fixture_strings() {
+  /* also not here: srand(time(nullptr)); throw; */
+  return "assert(1) throw rand() time(nullptr) 0.0 == x";
+}

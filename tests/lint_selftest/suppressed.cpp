@@ -1,0 +1,9 @@
+// Fixture: every violation here carries a rule-named allow() annotation,
+// so this file must produce zero findings.
+#include <stdexcept>
+
+bool fixture_suppressed(double x) {
+  if (x == 1.0)                    // eucon-lint: allow(float-equality)
+    throw std::range_error("x");   // eucon-lint: allow(raw-throw)
+  return false;
+}

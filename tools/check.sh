@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# check.sh — one-button correctness driver (see docs/quality.md).
+#
+# Configures, builds and runs the test suite under each hardening preset:
+#
+#   default        plain RelWithDebInfo, -Wall -Wextra -Werror
+#   asan-ubsan     -DEUCON_SANITIZE=address;undefined (halt on first finding)
+#   numeric        -DEUCON_NUMERIC_CHECKS=ON (std::isfinite guards in linalg/
+#                  qp/control; numeric_guard_test's injection tests activate)
+#   tsan           -DEUCON_SANITIZE=thread (opt-in via --tsan)
+#
+# plus the project linter (tools/eucon_lint) over the whole tree.
+#
+# Usage:
+#   tools/check.sh             # lint + default + asan-ubsan + numeric
+#   tools/check.sh --fast      # lint + default preset only
+#   tools/check.sh --tsan      # also run the thread-sanitizer preset
+#   tools/check.sh --lint      # lint only
+#   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
+#
+# Each preset builds into build-<preset>/ (gitignored). Exit status is
+# nonzero as soon as any preset fails.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+# Sanitizer runtime knobs: fail loudly, with stacks.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+configure_build_test() {
+  local name="$1"
+  shift
+  local dir="$ROOT/build-$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  echo "=== [$name] OK ==="
+}
+
+run_lint() {
+  local dir="$ROOT/build-default"
+  echo "=== [lint] build eucon_lint ==="
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target eucon_lint
+  echo "=== [lint] eucon_lint over src/ tests/ tools/ bench/ examples/ ==="
+  "$dir/tools/eucon_lint" "$ROOT/src" "$ROOT/tests" "$ROOT/tools" \
+    "$ROOT/bench" "$ROOT/examples"
+  echo "=== [lint] OK ==="
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== [tidy] SKIPPED: clang-tidy not found on PATH ==="
+    return 0
+  fi
+  local dir="$ROOT/build-tidy"
+  echo "=== [tidy] configure with compile_commands.json ==="
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "=== [tidy] clang-tidy (config: .clang-tidy) ==="
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$dir" -quiet "$ROOT/src" "$ROOT/tools"
+  else
+    find "$ROOT/src" "$ROOT/tools" -name '*.cpp' -print0 |
+      xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$dir" --quiet
+  fi
+  echo "=== [tidy] OK ==="
+}
+
+MODE="all"
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) MODE="fast" ;;
+    --lint) MODE="lint" ;;
+    --tidy) MODE="tidy" ;;
+    --tsan) TSAN=1 ;;
+    --help | -h)
+      sed -n '2,22p' "$0"
+      exit 0
+      ;;
+    *)
+      echo "unknown argument: $arg (try --help)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+case "$MODE" in
+  lint)
+    run_lint
+    ;;
+  tidy)
+    run_tidy
+    ;;
+  fast)
+    run_lint
+    configure_build_test default
+    ;;
+  all)
+    run_lint
+    configure_build_test default
+    configure_build_test asan-ubsan "-DEUCON_SANITIZE=address;undefined"
+    configure_build_test numeric -DEUCON_NUMERIC_CHECKS=ON
+    if [ "$TSAN" = 1 ]; then
+      configure_build_test tsan -DEUCON_SANITIZE=thread
+    fi
+    ;;
+esac
+
+echo "check.sh: all requested presets passed"

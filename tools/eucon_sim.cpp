@@ -6,7 +6,7 @@
 //
 // Examples:
 //   eucon_sim --workload simple --etf 0.5
-//   eucon_sim --workload medium --controller deucon \
+//   eucon_sim --workload medium --controller deucon
 //             --etf-steps 0:0.5,100000:0.9,200000:0.33
 //   eucon_sim --spec mytasks.txt --controller adaptive --etf 5 --summary
 //   eucon_sim --workload simple --trace-out trace.csv --periods 10
