@@ -21,9 +21,9 @@ struct Outcome {
   int settle;
 };
 
-Outcome run_simple(control::MpcParams params, double etf,
-                   double lane_delay = 0.0,
-                   ControllerKind kind = ControllerKind::kEucon) {
+ExperimentConfig simple_config(control::MpcParams params, double etf,
+                               double lane_delay = 0.0,
+                               ControllerKind kind = ControllerKind::kEucon) {
   ExperimentConfig cfg;
   cfg.spec = workloads::simple();
   cfg.mpc = params;
@@ -33,12 +33,26 @@ Outcome run_simple(control::MpcParams params, double etf,
   cfg.sim.seed = 42;
   cfg.sim.feedback_lane_delay = lane_delay;
   cfg.num_periods = 300;
-  const auto res = run_experiment(cfg);
+  return cfg;
+}
+
+Outcome simple_outcome(const ExperimentResult& res) {
   const auto a = metrics::acceptability(res, 0);
   return {a.mean, a.stddev, metrics::settling_time(res, 0, 0, 0.05, 10)};
 }
 
-Outcome run_medium_dynamic(ControllerKind kind) {
+// Each ablation cell is an independent run: fan the section's configs
+// through the batch engine, map results to outcomes in config order.
+std::vector<Outcome> run_simple_batch(
+    const std::vector<ExperimentConfig>& cfgs) {
+  const std::vector<ExperimentResult> results = run_batch(cfgs);
+  std::vector<Outcome> out;
+  out.reserve(results.size());
+  for (const auto& res : results) out.push_back(simple_outcome(res));
+  return out;
+}
+
+ExperimentConfig medium_dynamic_config(ControllerKind kind) {
   ExperimentConfig cfg;
   cfg.spec = workloads::medium();
   cfg.mpc = workloads::medium_controller_params();
@@ -49,7 +63,10 @@ Outcome run_medium_dynamic(ControllerKind kind) {
   cfg.sim.jitter = 0.2;
   cfg.sim.seed = 7;
   cfg.num_periods = 300;
-  const auto res = run_experiment(cfg);
+  return cfg;
+}
+
+Outcome medium_outcome(const ExperimentResult& res) {
   const auto a = metrics::acceptability(res, 0, 160, 200);
   return {a.mean, a.stddev, metrics::settling_time(res, 0, 100, 0.07, 10)};
 }
@@ -63,9 +80,12 @@ int main() {
   std::printf("# A. control-penalty form (SIMPLE, etf=0.5)\n");
   bench::print_header({"form", "mean", "sd", "settle"});
   control::MpcParams p = workloads::simple_controller_params();
-  const Outcome dr = run_simple(p, 0.5);
+  std::vector<ExperimentConfig> a_cfgs{simple_config(p, 0.5)};
   p.penalty_form = control::PenaltyForm::kDeltaDeltaRate;
-  const Outcome ddr = run_simple(p, 0.5);
+  a_cfgs.push_back(simple_config(p, 0.5));
+  const std::vector<Outcome> a_out = run_simple_batch(a_cfgs);
+  const Outcome& dr = a_out[0];
+  const Outcome& ddr = a_out[1];
   std::printf("delta_rate,%.4f,%.4f,%d\n", dr.mean, dr.sd, dr.settle);
   std::printf("delta_delta_rate,%.4f,%.4f,%d\n", ddr.mean, ddr.sd, ddr.settle);
   checks.expect(std::abs(dr.mean - 0.828) < 0.02 && dr.sd < 0.05,
@@ -78,9 +98,12 @@ int main() {
   std::printf("\n# B. constraint mode at etf=5 (SIMPLE)\n");
   bench::print_header({"mode", "mean", "sd"});
   p = workloads::simple_controller_params();
-  const Outcome hard5 = run_simple(p, 5.0);
+  std::vector<ExperimentConfig> b_cfgs{simple_config(p, 5.0)};
   p.constraint_mode = control::ConstraintMode::kSoftOnly;
-  const Outcome soft5 = run_simple(p, 5.0);
+  b_cfgs.push_back(simple_config(p, 5.0));
+  const std::vector<Outcome> b_out = run_simple_batch(b_cfgs);
+  const Outcome& hard5 = b_out[0];
+  const Outcome& soft5 = b_out[1];
   std::printf("hard,%.4f,%.4f\n", hard5.mean, hard5.sd);
   std::printf("soft,%.4f,%.4f\n", soft5.mean, soft5.sd);
   checks.expect(hard5.sd > 0.05,
@@ -92,11 +115,19 @@ int main() {
   // --- C: horizons ----------------------------------------------------------
   std::printf("\n# C. horizons (SIMPLE, etf=0.5)\n");
   bench::print_header({"P", "M", "mean", "sd", "settle"});
-  for (auto [ph, mh] : {std::pair{1, 1}, {2, 1}, {4, 2}, {8, 4}}) {
+  const std::vector<std::pair<int, int>> horizons{{1, 1}, {2, 1}, {4, 2},
+                                                  {8, 4}};
+  std::vector<ExperimentConfig> c_cfgs;
+  for (auto [ph, mh] : horizons) {
     p = workloads::simple_controller_params();
     p.prediction_horizon = ph;
     p.control_horizon = mh;
-    const Outcome o = run_simple(p, 0.5);
+    c_cfgs.push_back(simple_config(p, 0.5));
+  }
+  const std::vector<Outcome> c_out = run_simple_batch(c_cfgs);
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    const auto [ph, mh] = horizons[i];
+    const Outcome& o = c_out[i];
     std::printf("%d,%d,%.4f,%.4f,%d\n", ph, mh, o.mean, o.sd, o.settle);
     checks.expect(std::abs(o.mean - 0.828) < 0.02,
                   "C: converges with P=" + std::to_string(ph) +
@@ -106,14 +137,17 @@ int main() {
   // --- D: reference time constant -------------------------------------------
   std::printf("\n# D. Tref/Ts (SIMPLE, etf=0.5)\n");
   bench::print_header({"tref_over_ts", "mean", "sd", "settle"});
-  std::vector<Outcome> tref_runs;
-  for (double tr : {1.0, 4.0, 12.0}) {
+  const std::vector<double> trefs{1.0, 4.0, 12.0};
+  std::vector<ExperimentConfig> d_cfgs;
+  for (double tr : trefs) {
     p = workloads::simple_controller_params();
     p.tref_over_ts = tr;
-    tref_runs.push_back(run_simple(p, 0.5));
-    std::printf("%.0f,%.4f,%.4f,%d\n", tr, tref_runs.back().mean,
-                tref_runs.back().sd, tref_runs.back().settle);
+    d_cfgs.push_back(simple_config(p, 0.5));
   }
+  const std::vector<Outcome> tref_runs = run_simple_batch(d_cfgs);
+  for (std::size_t i = 0; i < trefs.size(); ++i)
+    std::printf("%.0f,%.4f,%.4f,%d\n", trefs[i], tref_runs[i].mean,
+                tref_runs[i].sd, tref_runs[i].settle);
   checks.expect(tref_runs[0].settle <= tref_runs[2].settle,
                 "D: smaller Tref converges no slower than larger Tref");
   checks.expect(std::abs(tref_runs[2].mean - 0.828) < 0.02,
@@ -122,9 +156,14 @@ int main() {
   // --- E: controller family under dynamic load ------------------------------
   std::printf("\n# E. controller family (MEDIUM, dynamic etf), phase-2 window\n");
   bench::print_header({"controller", "mean", "sd", "settle_after_step"});
-  const Outcome eucon = run_medium_dynamic(ControllerKind::kEucon);
-  const Outcome pid = run_medium_dynamic(ControllerKind::kPid);
-  const Outcome open = run_medium_dynamic(ControllerKind::kOpen);
+  const std::vector<ExperimentResult> e_results =
+      run_batch(std::vector<ExperimentConfig>{
+          medium_dynamic_config(ControllerKind::kEucon),
+          medium_dynamic_config(ControllerKind::kPid),
+          medium_dynamic_config(ControllerKind::kOpen)});
+  const Outcome eucon = medium_outcome(e_results[0]);
+  const Outcome pid = medium_outcome(e_results[1]);
+  const Outcome open = medium_outcome(e_results[2]);
   std::printf("EUCON,%.4f,%.4f,%d\n", eucon.mean, eucon.sd, eucon.settle);
   std::printf("PID,%.4f,%.4f,%d\n", pid.mean, pid.sd, pid.settle);
   std::printf("OPEN,%.4f,%.4f,%d\n", open.mean, open.sd, open.settle);
@@ -167,10 +206,14 @@ int main() {
 
     bench::print_header({"controller", "u_P1_mean", "u_P2_mean", "target_P1",
                          "target_P2"});
+    std::vector<ExperimentConfig> e2_cfgs;
     cfg.controller = ControllerKind::kEucon;
-    const auto mimo = run_experiment(cfg);
+    e2_cfgs.push_back(cfg);
     cfg.controller = ControllerKind::kUncoordinated;
-    const auto ind = run_experiment(cfg);
+    e2_cfgs.push_back(cfg);
+    const std::vector<ExperimentResult> e2_results = run_batch(e2_cfgs);
+    const ExperimentResult& mimo = e2_results[0];
+    const ExperimentResult& ind = e2_results[1];
     const double mimo_u2 = metrics::utilization_stats(mimo, 1, 100).mean();
     const double ind_u2 = metrics::utilization_stats(ind, 1, 100).mean();
     std::printf("EUCON,%.4f,%.4f,0.8,0.25\n",
@@ -191,7 +234,9 @@ int main() {
                        "adaptive_sd"});
   bool adaptive_always_smoother = true;
   double adaptive_sd_at_5 = 1.0, fixed_sd_at_5 = 0.0;
-  for (double etf : {0.5, 2.0, 5.0}) {
+  const std::vector<double> g_etfs{0.5, 2.0, 5.0};
+  std::vector<ExperimentConfig> g_cfgs;
+  for (double etf : g_etfs) {
     ExperimentConfig cfg;
     cfg.spec = workloads::simple();
     cfg.mpc = workloads::simple_controller_params();
@@ -200,9 +245,15 @@ int main() {
     cfg.sim.seed = 42;
     cfg.num_periods = 300;
     cfg.controller = ControllerKind::kEucon;
-    const auto fixed = metrics::acceptability(run_experiment(cfg), 0);
+    g_cfgs.push_back(cfg);
     cfg.controller = ControllerKind::kAdaptive;
-    const auto adaptive = metrics::acceptability(run_experiment(cfg), 0);
+    g_cfgs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> g_results = run_batch(g_cfgs);
+  for (std::size_t i = 0; i < g_etfs.size(); ++i) {
+    const double etf = g_etfs[i];
+    const auto fixed = metrics::acceptability(g_results[2 * i], 0);
+    const auto adaptive = metrics::acceptability(g_results[2 * i + 1], 0);
     std::printf("%.1f,%.4f,%.4f,%.4f,%.4f\n", etf, fixed.mean, fixed.stddev,
                 adaptive.mean, adaptive.stddev);
     if (etf >= 2.0 && adaptive.stddev > fixed.stddev)
@@ -221,12 +272,15 @@ int main() {
   // --- F: feedback-lane delay -----------------------------------------------
   std::printf("\n# F. feedback-lane delay (SIMPLE, etf=0.5)\n");
   bench::print_header({"delay_units", "mean", "sd", "settle"});
-  std::vector<Outcome> lane_runs;
-  for (double d : {0.0, 500.0, 1500.0}) {
-    lane_runs.push_back(run_simple(workloads::simple_controller_params(), 0.5, d));
-    std::printf("%.0f,%.4f,%.4f,%d\n", d, lane_runs.back().mean,
-                lane_runs.back().sd, lane_runs.back().settle);
-  }
+  const std::vector<double> delays{0.0, 500.0, 1500.0};
+  std::vector<ExperimentConfig> f_cfgs;
+  for (double d : delays)
+    f_cfgs.push_back(
+        simple_config(workloads::simple_controller_params(), 0.5, d));
+  const std::vector<Outcome> lane_runs = run_simple_batch(f_cfgs);
+  for (std::size_t i = 0; i < delays.size(); ++i)
+    std::printf("%.0f,%.4f,%.4f,%d\n", delays[i], lane_runs[i].mean,
+                lane_runs[i].sd, lane_runs[i].settle);
   checks.expect(std::abs(lane_runs[1].mean - 0.828) < 0.02,
                 "F: sub-period lane delay is tolerated");
   checks.expect(lane_runs[2].sd >= lane_runs[0].sd,

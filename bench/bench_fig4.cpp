@@ -21,9 +21,13 @@ struct Point {
   double etf, mean, sd;
 };
 
+// The sweep points are independent runs — fanned across the batch engine
+// (identical results to a serial loop; see run_batch's determinism
+// contract).
 std::vector<Point> sweep(const rts::SystemSpec& spec,
                          const std::vector<double>& etfs) {
-  std::vector<Point> out;
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(etfs.size());
   for (double etf : etfs) {
     ExperimentConfig cfg;
     cfg.spec = spec;
@@ -32,9 +36,14 @@ std::vector<Point> sweep(const rts::SystemSpec& spec,
     cfg.sim.jitter = 0.1;
     cfg.sim.seed = 42;
     cfg.num_periods = 300;
-    const ExperimentResult res = run_experiment(cfg);
-    const auto a = metrics::acceptability(res, 0);
-    out.push_back({etf, a.mean, a.stddev});
+    specs.push_back({"etf=" + std::to_string(etf), cfg});
+  }
+  const std::vector<ExperimentResult> results = run_batch(specs);
+  std::vector<Point> out;
+  out.reserve(etfs.size());
+  for (std::size_t i = 0; i < etfs.size(); ++i) {
+    const auto a = metrics::acceptability(results[i], 0);
+    out.push_back({etfs[i], a.mean, a.stddev});
   }
   return out;
 }

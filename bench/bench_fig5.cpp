@@ -35,6 +35,10 @@ int main() {
   for (double e = 0.1; e <= 1.001; e += 0.15) etfs.push_back(e);
   for (double e = 1.5; e <= 6.001; e += 0.5) etfs.push_back(e);
 
+  // Two runs per sweep point (EUCON and OPEN), all independent — one
+  // batch of 2*|etfs| experiments through the parallel engine.
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(2 * etfs.size());
   for (double etf : etfs) {
     ExperimentConfig cfg;
     cfg.spec = spec;
@@ -43,11 +47,17 @@ int main() {
     cfg.sim.jitter = 0.2;
     cfg.sim.seed = 7;
     cfg.num_periods = 300;
-    const auto eucon_res = run_experiment(cfg);
-    const auto ea = metrics::acceptability(eucon_res, 0);
-
+    specs.push_back({"eucon etf=" + std::to_string(etf), cfg});
     cfg.controller = ControllerKind::kOpen;
-    const auto open_res = run_experiment(cfg);
+    specs.push_back({"open etf=" + std::to_string(etf), cfg});
+  }
+  const std::vector<ExperimentResult> results = run_batch(specs);
+
+  for (std::size_t i = 0; i < etfs.size(); ++i) {
+    const double etf = etfs[i];
+    const ExperimentResult& eucon_res = results[2 * i];
+    const ExperimentResult& open_res = results[2 * i + 1];
+    const auto ea = metrics::acceptability(eucon_res, 0);
     const auto oa = metrics::utilization_stats(open_res, 0, 100);
 
     rows.push_back({etf, ea.mean, ea.stddev,

@@ -1,95 +1,207 @@
-// Microbenchmarks (google-benchmark): cost of the controller's on-line
-// optimization (the paper notes lsqlin's polynomial cost in m·n·P·M and
-// that the controller suits "small to medium scale systems"), simulator
-// throughput, and the stability-analysis eigensolver.
-#include <benchmark/benchmark.h>
+// Performance-trajectory harness.
+//
+// Times the paper's on-line cost centers (the MPC update, the constrained
+// least-squares solve behind it, one closed-loop sampling period) plus the
+// batch experiment engine, and emits the results as machine-readable
+// BENCH_PERF.json (schema in docs/performance.md). Every section runs
+// warmup iterations first and reports per-iteration latency percentiles
+// (p50/p90/p99) rather than a bare mean, so one slow outlier (page fault,
+// scheduler preemption) cannot masquerade as a regression — or hide one.
+//
+// The lsqlin sections double as the caching/warm-start acceptance check:
+// `lsqlin_oneshot` re-factorizes C and rebuilds the Hessian on every call
+// (the pre-optimization hot path, kept as `qp::lsqlin`), while
+// `lsqlin_solver_warm` drives the cached `qp::LsqlinSolver` with a
+// persistent warm-started working set on the same problem sequence.
+//
+// Usage: bench_perf [--smoke] [--json PATH]
+//   --smoke      tiny iteration counts (the ctest gate)
+//   --json PATH  where to write the JSON report (default BENCH_PERF.json)
+//
+// After writing the report the harness re-reads and validates it against
+// the schema; a malformed report is a non-zero exit, so the ctest smoke
+// run is a real gate on the file format.
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "eucon/eucon.h"
 
 using namespace eucon;
 
 namespace {
 
-// One controller update on a random workload with `tasks` tasks across 4
-// processors, P=4 / M=2 (the MEDIUM controller settings).
-void BM_MpcUpdateByTasks(benchmark::State& state) {
-  workloads::RandomWorkloadParams p;
-  p.num_processors = 4;
-  p.num_tasks = static_cast<int>(state.range(0));
-  const auto spec = workloads::random_workload(p, 42);
+using SteadyClock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Timing scaffolding
+// ---------------------------------------------------------------------------
+
+struct SectionResult {
+  std::string name;
+  std::size_t warmup = 0;
+  std::size_t iterations = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  EUCON_REQUIRE(!sorted.empty(), "percentile of an empty sample set");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// Runs `fn` warmup times untimed, then `iters` times with per-iteration
+// wall-clock capture.
+template <typename F>
+SectionResult time_section(const std::string& name, std::size_t warmup,
+                           std::size_t iters, F&& fn) {
+  EUCON_REQUIRE(iters > 0, "section needs at least one timed iteration");
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  std::vector<double> us;
+  us.reserve(iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto t0 = SteadyClock::now();
+    fn();
+    const auto t1 = SteadyClock::now();
+    us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(us.begin(), us.end());
+  SectionResult r;
+  r.name = name;
+  r.warmup = warmup;
+  r.iterations = iters;
+  double sum = 0.0;
+  for (double v : us) sum += v;
+  r.mean_us = sum / static_cast<double>(us.size());
+  r.p50_us = percentile(us, 0.50);
+  r.p90_us = percentile(us, 0.90);
+  r.p99_us = percentile(us, 0.99);
+  r.min_us = us.front();
+  r.max_us = us.back();
+  std::printf("%-28s iters=%-5zu p50=%10.2fus p90=%10.2fus p99=%10.2fus "
+              "mean=%10.2fus\n",
+              r.name.c_str(), r.iterations, r.p50_us, r.p90_us, r.p99_us,
+              r.mean_us);
+  return r;
+}
+
+// Defeats dead-code elimination without google-benchmark.
+volatile double g_sink = 0.0;
+
+void sink(double v) { g_sink = g_sink + v; }
+
+// ---------------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------------
+
+// One controller update on MEDIUM (P=4, M=2); the measurement alternates
+// the utilization sample so the active set keeps doing real work.
+SectionResult bench_mpc_update(std::size_t warmup, std::size_t iters) {
+  const auto spec = workloads::medium();
   const auto model = control::make_plant_model(spec);
   control::MpcController ctrl(model, workloads::medium_controller_params(),
                               spec.initial_rate_vector());
   linalg::Vector u(model.num_processors(), 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.update(u));
-    // Perturb so the active set keeps working.
-    u[0] = u[0] > 0.5 ? 0.4 : 0.6;
-  }
-  state.SetLabel(std::to_string(spec.num_subtasks()) + " subtasks");
+  bool high = false;
+  return time_section("mpc_update_medium", warmup, iters, [&] {
+    u[0] = high ? 0.6 : 0.4;
+    high = !high;
+    sink(ctrl.update(u)[0]);
+  });
 }
-BENCHMARK(BM_MpcUpdateByTasks)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-// Horizon scaling at fixed workload size (the P·M term of the cost).
-void BM_MpcUpdateByHorizon(benchmark::State& state) {
-  const auto spec = workloads::medium();
-  const auto model = control::make_plant_model(spec);
-  control::MpcParams params = workloads::medium_controller_params();
-  params.prediction_horizon = static_cast<int>(state.range(0));
-  params.control_horizon = static_cast<int>(state.range(0)) / 2;
-  control::MpcController ctrl(model, params, spec.initial_rate_vector());
-  linalg::Vector u(model.num_processors(), 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.update(u));
-    u[0] = u[0] > 0.5 ? 0.4 : 0.6;
-  }
-}
-BENCHMARK(BM_MpcUpdateByHorizon)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+// The MPC-shaped constrained least-squares problem both lsqlin paths are
+// timed on: the MEDIUM controller's own tracking matrix C and constraint
+// template, with the target d perturbed every call the way a closed-loop
+// run perturbs it.
+struct LsqlinFixture {
+  linalg::Matrix c;
+  linalg::Matrix a;
+  linalg::Vector b;
+  std::vector<linalg::Vector> targets;  // cycled per call
+  std::size_t next = 0;
 
-// The standalone constrained least-squares solver on an MPC-shaped problem.
-void BM_Lsqlin(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Rng rng(7);
-  linalg::Matrix c(2 * n, n);
-  linalg::Vector d(2 * n);
-  for (std::size_t r = 0; r < 2 * n; ++r) {
-    d[r] = rng.uniform(-1.0, 1.0);
-    for (std::size_t cc = 0; cc < n; ++cc) c(r, cc) = rng.uniform(0.0, 1.0);
+  explicit LsqlinFixture(std::size_t num_targets) {
+    const auto spec = workloads::medium();
+    const auto model = control::make_plant_model(spec);
+    const auto params = workloads::medium_controller_params();
+    const control::MpcMatrices mats = control::build_mpc_matrices(model, params);
+    c = mats.c;
+    // Rate bounds as A x <= b rows, the same encoding MpcController uses
+    // for its constraint template.
+    const std::size_t n = c.cols();
+    a = linalg::Matrix(2 * n, n);
+    b = linalg::Vector(2 * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      a(j, j) = 1.0;
+      b[j] = 0.5;
+      a(n + j, j) = -1.0;
+      b[n + j] = 0.5;
+    }
+    Rng rng(2026);
+    targets.reserve(num_targets);
+    for (std::size_t t = 0; t < num_targets; ++t) {
+      linalg::Vector d(c.rows());
+      for (std::size_t r = 0; r < d.size(); ++r) d[r] = rng.uniform(-0.4, 0.4);
+      targets.push_back(std::move(d));
+    }
   }
+
+  const linalg::Vector& next_target() {
+    const linalg::Vector& d = targets[next];
+    next = (next + 1) % targets.size();
+    return d;
+  }
+};
+
+// Pre-optimization hot path: qp::lsqlin() refactorizes C and rebuilds
+// H = 2 C'C on every call.
+SectionResult bench_lsqlin_oneshot(std::size_t warmup, std::size_t iters) {
+  LsqlinFixture fx(16);
   qp::LsqlinProblem prob;
-  prob.c = c;
-  prob.d = d;
-  prob.a = linalg::Matrix(0, n);
-  prob.b = linalg::Vector(0);
-  prob.lb = linalg::Vector(n, -0.5);
-  prob.ub = linalg::Vector(n, 0.5);
-  for (auto _ : state) benchmark::DoNotOptimize(qp::lsqlin(prob));
+  prob.c = fx.c;
+  prob.a = fx.a;
+  prob.b = fx.b;
+  return time_section("lsqlin_oneshot", warmup, iters, [&] {
+    prob.d = fx.next_target();
+    sink(qp::lsqlin(prob).residual_norm);
+  });
 }
-BENCHMARK(BM_Lsqlin)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-// Simulator throughput: one sampling period (1000 time units) of MEDIUM.
-void BM_SimulateMediumPeriod(benchmark::State& state) {
-  rts::SimOptions opts;
-  opts.jitter = 0.2;
-  rts::Simulator sim(workloads::medium(), opts);
-  Ticks t = 0;
-  const Ticks ts = units_to_ticks(1000.0);
-  std::uint64_t jobs = 0;
-  for (auto _ : state) {
-    t += ts;
-    sim.run_until(t);
-    benchmark::DoNotOptimize(sim.sample_utilizations());
-  }
-  jobs = sim.jobs_released();
-  state.SetItemsProcessed(static_cast<int64_t>(jobs));
-  state.SetLabel("jobs/iteration ~" +
-                 std::to_string(jobs / std::max<std::uint64_t>(
-                                           1, state.iterations())));
+// Post-optimization hot path: QR of C and the Hessian cached across calls,
+// working set warm-started from the previous solve.
+SectionResult bench_lsqlin_solver_warm(std::size_t warmup, std::size_t iters) {
+  LsqlinFixture fx(16);
+  qp::LsqlinSolver solver(fx.c);
+  qp::WarmStart warm;
+  return time_section("lsqlin_solver_warm", warmup, iters, [&] {
+    const qp::LsqlinResult res =
+        solver.solve(fx.next_target(), fx.a, fx.b, nullptr, {}, &warm);
+    sink(res.residual_norm);
+  });
 }
-BENCHMARK(BM_SimulateMediumPeriod);
 
-// Full closed-loop period: simulate + sample + control + actuate.
-void BM_ClosedLoopPeriod(benchmark::State& state) {
+// One full closed-loop sampling period of MEDIUM: simulate Ts, sample,
+// control, actuate.
+SectionResult bench_closed_loop(std::size_t warmup, std::size_t iters) {
   rts::SimOptions opts;
   opts.jitter = 0.2;
   const auto spec = workloads::medium();
@@ -99,37 +211,402 @@ void BM_ClosedLoopPeriod(benchmark::State& state) {
                               spec.initial_rate_vector());
   Ticks t = 0;
   const Ticks ts = units_to_ticks(1000.0);
-  for (auto _ : state) {
+  return time_section("closed_loop_period_medium", warmup, iters, [&] {
     t += ts;
     sim.run_until(t);
     const auto u = sim.sample_utilizations();
     sim.set_rates(ctrl.update(linalg::Vector(u)).data());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Batch engine throughput
+// ---------------------------------------------------------------------------
+
+struct BatchResult {
+  std::size_t runs = 0;
+  std::size_t workers = 0;
+  double serial_runs_per_sec = 0.0;
+  double parallel_runs_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+BatchResult bench_batch(std::size_t runs, int periods) {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    ExperimentConfig cfg;
+    cfg.spec = workloads::simple();
+    cfg.mpc = workloads::simple_controller_params();
+    cfg.num_periods = periods;
+    cfg.sim.jitter = 0.1;
+    cfg.sim.etf = rts::EtfProfile::constant(
+        0.4 + 0.2 * static_cast<double>(i % 8));
+    cfg.sim.seed = 100 + i;
+    specs.push_back({"run" + std::to_string(i), cfg});
   }
-}
-BENCHMARK(BM_ClosedLoopPeriod);
 
-// Eigenvalues of the closed-loop matrix (stability analysis inner loop).
-void BM_ClosedLoopEigenvalues(benchmark::State& state) {
-  workloads::RandomWorkloadParams p;
-  p.num_processors = 4;
-  p.num_tasks = static_cast<int>(state.range(0));
-  const auto spec = workloads::random_workload(p, 3);
-  control::StabilityAnalyzer an(control::make_plant_model(spec),
-                                workloads::medium_controller_params());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(an.spectral_radius_uniform(1.5));
-}
-BENCHMARK(BM_ClosedLoopEigenvalues)->Arg(8)->Arg(16)->Arg(32);
+  BatchOptions serial;
+  serial.serial = true;
+  BatchOptions pooled;  // num_workers = 0 -> one per hardware thread
 
-void BM_CriticalGainSearch(benchmark::State& state) {
-  control::StabilityAnalyzer an(
-      control::make_plant_model(workloads::simple()),
-      workloads::simple_controller_params());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(an.critical_uniform_gain());
+  // One untimed pass of each path as warmup (page-in, allocator steady
+  // state), then a timed pass.
+  (void)run_batch(specs, serial);
+  (void)run_batch(specs, pooled);
+
+  const auto s0 = SteadyClock::now();
+  (void)run_batch(specs, serial);
+  const auto s1 = SteadyClock::now();
+  (void)run_batch(specs, pooled);
+  const auto s2 = SteadyClock::now();
+
+  const double serial_s = std::chrono::duration<double>(s1 - s0).count();
+  const double par_s = std::chrono::duration<double>(s2 - s1).count();
+  BatchResult r;
+  r.runs = runs;
+  r.workers = ThreadPool::default_workers();
+  r.serial_runs_per_sec = static_cast<double>(runs) / serial_s;
+  r.parallel_runs_per_sec = static_cast<double>(runs) / par_s;
+  r.speedup = r.parallel_runs_per_sec /
+              std::max(r.serial_runs_per_sec, 1e-12);
+  std::printf("batch_engine                 runs=%zu workers=%zu "
+              "serial=%.2f runs/s parallel=%.2f runs/s speedup=%.2fx\n",
+              r.runs, r.workers, r.serial_runs_per_sec,
+              r.parallel_runs_per_sec, r.speedup);
+  return r;
 }
-BENCHMARK(BM_CriticalGainSearch);
+
+// ---------------------------------------------------------------------------
+// JSON emission + schema validation
+// ---------------------------------------------------------------------------
+
+std::string json_number(double v) {
+  EUCON_REQUIRE(std::isfinite(v), "JSON report requires finite numbers");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void write_report(const std::string& path,
+                  const std::vector<SectionResult>& sections,
+                  const BatchResult& batch, bool smoke) {
+  std::ofstream out(path);
+  EUCON_REQUIRE(out.good(), "cannot open JSON report path: " + path);
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"generated_by\": \"bench_perf\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"hardware_concurrency\": " << ThreadPool::default_workers()
+      << ",\n";
+  out << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const SectionResult& s = sections[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << s.name << "\",\n";
+    out << "      \"warmup_iterations\": " << s.warmup << ",\n";
+    out << "      \"iterations\": " << s.iterations << ",\n";
+    out << "      \"mean_us\": " << json_number(s.mean_us) << ",\n";
+    out << "      \"p50_us\": " << json_number(s.p50_us) << ",\n";
+    out << "      \"p90_us\": " << json_number(s.p90_us) << ",\n";
+    out << "      \"p99_us\": " << json_number(s.p99_us) << ",\n";
+    out << "      \"min_us\": " << json_number(s.min_us) << ",\n";
+    out << "      \"max_us\": " << json_number(s.max_us) << "\n";
+    out << "    }" << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"batch\": {\n";
+  out << "    \"runs\": " << batch.runs << ",\n";
+  out << "    \"workers\": " << batch.workers << ",\n";
+  out << "    \"serial_runs_per_sec\": " << json_number(batch.serial_runs_per_sec)
+      << ",\n";
+  out << "    \"parallel_runs_per_sec\": "
+      << json_number(batch.parallel_runs_per_sec) << ",\n";
+  out << "    \"speedup\": " << json_number(batch.speedup) << "\n";
+  out << "  }\n";
+  out << "}\n";
+  EUCON_REQUIRE(out.good(), "failed writing JSON report: " + path);
+}
+
+// Minimal recursive-descent JSON reader — just enough structure to verify
+// the report schema for real (the ctest smoke gate), not a general parser.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  // Parses the whole input as one object and returns the flattened
+  // key paths ("batch.speedup", "benchmarks[0].p50_us", ...) that hold a
+  // number, plus object/array shape counts.
+  void parse() {
+    skip_ws();
+    parse_value("");
+    skip_ws();
+    EUCON_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON document");
+  }
+
+  bool has_number(const std::string& path) const {
+    return numbers_.count(path) > 0;
+  }
+  double number(const std::string& path) const {
+    const auto it = numbers_.find(path);
+    EUCON_REQUIRE(it != numbers_.end(), "missing numeric key: " + path);
+    return it->second;
+  }
+  bool has_string(const std::string& path) const {
+    return strings_.count(path) > 0;
+  }
+  std::string string_at(const std::string& path) const {
+    const auto it = strings_.find(path);
+    EUCON_REQUIRE(it != strings_.end(), "missing string key: " + path);
+    return it->second;
+  }
+  bool has_bool(const std::string& path) const {
+    return bools_.count(path) > 0;
+  }
+  std::size_t array_size(const std::string& path) const {
+    const auto it = arrays_.find(path);
+    EUCON_REQUIRE(it != arrays_.end(), "missing array key: " + path);
+    return it->second;
+  }
+
+ private:
+  void parse_value(const std::string& path) {
+    skip_ws();
+    EUCON_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    const char c = text_[pos_];
+    if (c == '{') {
+      parse_object(path);
+    } else if (c == '[') {
+      parse_array(path);
+    } else if (c == '"') {
+      strings_[path] = parse_string();
+    } else if (c == 't' || c == 'f') {
+      parse_bool(path);
+    } else {
+      parse_number(path);
+    }
+  }
+
+  void parse_object(const std::string& path) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      parse_value(path.empty() ? key : path + "." + key);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(const std::string& path) {
+    expect('[');
+    skip_ws();
+    std::size_t count = 0;
+    if (peek() == ']') {
+      ++pos_;
+      arrays_[path] = 0;
+      return;
+    }
+    while (true) {
+      parse_value(path + "[" + std::to_string(count) + "]");
+      ++count;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      arrays_[path] = count;
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      EUCON_REQUIRE(text_[pos_] != '\\',
+                    "escape sequences not used by this schema");
+      s += text_[pos_++];
+    }
+    expect('"');
+    return s;
+  }
+
+  void parse_bool(const std::string& path) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      bools_[path] = true;
+      pos_ += 4;
+      return;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      bools_[path] = false;
+      pos_ += 5;
+      return;
+    }
+    EUCON_FAIL("invalid JSON literal at byte " + std::to_string(pos_));
+  }
+
+  void parse_number(const std::string& path) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    EUCON_REQUIRE(pos_ > start,
+                  "invalid JSON value at byte " + std::to_string(start));
+    numbers_[path] = std::stod(text_.substr(start, pos_ - start));
+  }
+
+  char peek() const {
+    EUCON_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    EUCON_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                  std::string("expected '") + c + "' at byte " +
+                      std::to_string(pos_));
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, double> numbers_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, bool> bools_;
+  std::map<std::string, std::size_t> arrays_;
+};
+
+// Re-reads the emitted report and checks the schema; returns the number of
+// violations (0 = valid).
+int validate_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "schema: cannot reopen %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonReader reader(buf.str());
+  try {
+    reader.parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "schema: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  }
+
+  int violations = 0;
+  const auto need = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "schema: %s\n", what);
+      ++violations;
+    }
+  };
+  need(reader.has_number("schema_version") &&
+           reader.number("schema_version") > 0.5,
+       "schema_version missing or < 1");
+  need(reader.has_string("generated_by"), "generated_by missing");
+  need(reader.has_bool("smoke"), "smoke flag missing");
+  need(reader.has_number("hardware_concurrency") &&
+           reader.number("hardware_concurrency") >= 1.0,
+       "hardware_concurrency missing or < 1");
+
+  std::size_t benches = 0;
+  try {
+    benches = reader.array_size("benchmarks");
+  } catch (const std::exception&) {
+    // handled by the need() below
+  }
+  need(benches >= 4, "benchmarks must hold at least the four core sections");
+  for (std::size_t i = 0; i < benches; ++i) {
+    const std::string p = "benchmarks[" + std::to_string(i) + "]";
+    need(reader.has_string(p + ".name"), "benchmark entry lacks name");
+    for (const char* key : {".warmup_iterations", ".iterations", ".mean_us",
+                            ".p50_us", ".p90_us", ".p99_us", ".min_us",
+                            ".max_us"}) {
+      const std::string full = p + key;
+      need(reader.has_number(full) && std::isfinite(reader.number(full)),
+           (full + " missing or non-finite").c_str());
+    }
+    if (reader.has_number(p + ".p50_us") && reader.has_number(p + ".p99_us"))
+      need(reader.number(p + ".p99_us") >= reader.number(p + ".p50_us"),
+           "p99 below p50");
+  }
+  for (const char* key :
+       {"batch.runs", "batch.workers", "batch.serial_runs_per_sec",
+        "batch.parallel_runs_per_sec", "batch.speedup"}) {
+    need(reader.has_number(key) && std::isfinite(reader.number(key)) &&
+             reader.number(key) > 0.0,
+         (std::string(key) + " missing or non-positive").c_str());
+  }
+  return violations;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_PERF.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_perf [--smoke] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::size_t warmup = smoke ? 3 : 50;
+  const std::size_t iters = smoke ? 12 : 400;
+  const std::size_t loop_iters = smoke ? 8 : 120;
+  const std::size_t batch_runs = smoke ? 4 : 12;
+  const int batch_periods = smoke ? 25 : 120;
+
+  std::printf("bench_perf: %s run, %zu hardware threads\n",
+              smoke ? "smoke" : "full", ThreadPool::default_workers());
+
+  std::vector<SectionResult> sections;
+  sections.push_back(bench_mpc_update(warmup, iters));
+  sections.push_back(bench_lsqlin_oneshot(warmup, iters));
+  sections.push_back(bench_lsqlin_solver_warm(warmup, iters));
+  sections.push_back(bench_closed_loop(smoke ? 2 : 10, loop_iters));
+  const BatchResult batch = bench_batch(batch_runs, batch_periods);
+
+  // The headline comparison for the caching/warm-start work.
+  const double oneshot_p50 = sections[1].p50_us;
+  const double cached_p50 = std::max(sections[2].p50_us, 1e-9);
+  std::printf("lsqlin cached/warm vs one-shot: %.2fx faster (p50)\n",
+              oneshot_p50 / cached_p50);
+
+  write_report(json_path, sections, batch, smoke);
+  const int violations = validate_report(json_path);
+  if (violations != 0) {
+    std::fprintf(stderr, "bench_perf: %s failed schema validation\n",
+                 json_path.c_str());
+    return violations;
+  }
+  std::printf("bench_perf: wrote %s (schema valid)\n", json_path.c_str());
+  return 0;
+}

@@ -23,53 +23,62 @@ struct QualityRow {
   std::size_t cen_vars, dec_vars;
 };
 
-QualityRow run_size(int processors, int tasks, std::uint64_t seed) {
+struct SizeCase {
+  int processors, tasks;
+  std::uint64_t seed;
+  rts::SystemSpec spec;
+};
+
+SizeCase make_case(int processors, int tasks, std::uint64_t seed) {
   workloads::RandomWorkloadParams wp;
   wp.num_processors = processors;
   wp.num_tasks = tasks;
   wp.min_chain = 1;
   wp.max_chain = 3;
-  const auto spec = workloads::random_workload(wp, seed);
-  const auto model = control::make_plant_model(spec);
+  return {processors, tasks, seed, workloads::random_workload(wp, seed)};
+}
 
-  QualityRow row{};
-  row.processors = processors;
-  row.tasks = tasks;
+ExperimentConfig size_config(const SizeCase& cs, bool decentralized) {
+  ExperimentConfig cfg;
+  cfg.spec = cs.spec;
+  cfg.controller = decentralized ? ControllerKind::kDecentralized
+                                 : ControllerKind::kEucon;
+  cfg.mpc = workloads::medium_controller_params();
+  cfg.sim.etf = rts::EtfProfile::constant(0.6);
+  cfg.sim.jitter = 0.2;
+  cfg.sim.seed = cs.seed;
+  cfg.num_periods = 200;
+  return cfg;
+}
 
-  for (bool decentralized : {false, true}) {
-    ExperimentConfig cfg;
-    cfg.spec = spec;
-    cfg.controller = decentralized ? ControllerKind::kDecentralized
-                                   : ControllerKind::kEucon;
-    cfg.mpc = workloads::medium_controller_params();
-    cfg.sim.etf = rts::EtfProfile::constant(0.6);
-    cfg.sim.jitter = 0.2;
-    cfg.sim.seed = seed;
-    cfg.num_periods = 200;
-    const ExperimentResult res = run_experiment(cfg);
-    double worst_err = 0.0, worst_sd = 0.0;
-    for (std::size_t p = 0; p < static_cast<std::size_t>(processors); ++p) {
-      const auto s = metrics::utilization_stats(res, p, 100);
-      worst_err = std::max(worst_err, std::abs(s.mean() - res.set_points[p]));
-      worst_sd = std::max(worst_sd, s.stddev());
-    }
-    if (decentralized) {
-      row.dec_err = worst_err;
-      row.dec_sd = worst_sd;
-      control::DecentralizedMpcController probe(
-          model, workloads::medium_controller_params(),
-          spec.initial_rate_vector());
-      row.dec_vars = probe.max_local_problem_size() *
-                     static_cast<std::size_t>(
-                         workloads::medium_controller_params().control_horizon);
-    } else {
-      row.cen_err = worst_err;
-      row.cen_sd = worst_sd;
-      row.cen_vars = model.num_tasks() *
-                     static_cast<std::size_t>(
-                         workloads::medium_controller_params().control_horizon);
-    }
+void worst_tracking(const ExperimentResult& res, int processors,
+                    double* worst_err, double* worst_sd) {
+  *worst_err = 0.0;
+  *worst_sd = 0.0;
+  for (std::size_t p = 0; p < static_cast<std::size_t>(processors); ++p) {
+    const auto s = metrics::utilization_stats(res, p, 100);
+    *worst_err = std::max(*worst_err, std::abs(s.mean() - res.set_points[p]));
+    *worst_sd = std::max(*worst_sd, s.stddev());
   }
+}
+
+// Builds the quality row for one size from its (centralized, decentralized)
+// result pair.
+QualityRow make_row(const SizeCase& cs, const ExperimentResult& cen,
+                    const ExperimentResult& dec) {
+  const auto model = control::make_plant_model(cs.spec);
+  QualityRow row{};
+  row.processors = cs.processors;
+  row.tasks = cs.tasks;
+  worst_tracking(cen, cs.processors, &row.cen_err, &row.cen_sd);
+  worst_tracking(dec, cs.processors, &row.dec_err, &row.dec_sd);
+  control::DecentralizedMpcController probe(
+      model, workloads::medium_controller_params(),
+      cs.spec.initial_rate_vector());
+  const auto horizon = static_cast<std::size_t>(
+      workloads::medium_controller_params().control_horizon);
+  row.dec_vars = probe.max_local_problem_size() * horizon;
+  row.cen_vars = model.num_tasks() * horizon;
   return row;
 }
 
@@ -82,9 +91,25 @@ int main() {
   bench::print_header({"procs", "tasks", "cen_worst_err", "cen_worst_sd",
                        "dec_worst_err", "dec_worst_sd", "cen_vars",
                        "dec_vars"});
+  // All (size, architecture) runs are independent: one batch of 8 through
+  // the parallel engine, results consumed in spec order.
+  std::vector<SizeCase> cases;
+  for (auto [n, m] : {std::pair{2, 6}, {4, 12}, {6, 18}, {8, 32}})
+    cases.push_back(make_case(n, m, 1000 + static_cast<std::uint64_t>(n)));
+  std::vector<ExperimentSpec> size_specs;
+  size_specs.reserve(2 * cases.size());
+  for (const auto& cs : cases) {
+    size_specs.push_back(
+        {"cen p" + std::to_string(cs.processors), size_config(cs, false)});
+    size_specs.push_back(
+        {"dec p" + std::to_string(cs.processors), size_config(cs, true)});
+  }
+  const std::vector<ExperimentResult> size_results = run_batch(size_specs);
+
   std::vector<QualityRow> rows;
-  for (auto [n, m] : {std::pair{2, 6}, {4, 12}, {6, 18}, {8, 32}}) {
-    rows.push_back(run_size(n, m, 1000 + static_cast<std::uint64_t>(n)));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    rows.push_back(
+        make_row(cases[i], size_results[2 * i], size_results[2 * i + 1]));
     const auto& r = rows.back();
     bench::print_row({static_cast<double>(r.processors),
                       static_cast<double>(r.tasks), r.cen_err, r.cen_sd,
@@ -105,19 +130,14 @@ int main() {
     QualityRow row{};
     row.processors = 8;
     row.tasks = static_cast<int>(cfg.spec.num_tasks());
-    for (bool dec : {false, true}) {
-      cfg.controller =
-          dec ? ControllerKind::kDecentralized : ControllerKind::kEucon;
-      const ExperimentResult res = run_experiment(cfg);
-      double worst_err = 0.0, worst_sd = 0.0;
-      for (std::size_t p = 0; p < 8; ++p) {
-        const auto s = metrics::utilization_stats(res, p, 100);
-        worst_err = std::max(worst_err, std::abs(s.mean() - res.set_points[p]));
-        worst_sd = std::max(worst_sd, s.stddev());
-      }
-      (dec ? row.dec_err : row.cen_err) = worst_err;
-      (dec ? row.dec_sd : row.cen_sd) = worst_sd;
-    }
+    std::vector<ExperimentSpec> large_specs;
+    cfg.controller = ControllerKind::kEucon;
+    large_specs.push_back({"large cen", cfg});
+    cfg.controller = ControllerKind::kDecentralized;
+    large_specs.push_back({"large dec", cfg});
+    const std::vector<ExperimentResult> large_results = run_batch(large_specs);
+    worst_tracking(large_results[0], 8, &row.cen_err, &row.cen_sd);
+    worst_tracking(large_results[1], 8, &row.dec_err, &row.dec_sd);
     std::printf("LARGE(curated): ");
     bench::print_row({8, static_cast<double>(row.tasks), row.cen_err,
                       row.cen_sd, row.dec_err, row.dec_sd, 0, 0});
@@ -157,6 +177,7 @@ int main() {
     double mean;
   };
   SchedRow rms{}, edf{};
+  std::vector<ExperimentSpec> sched_specs;
   for (auto policy : {rts::SchedulingPolicy::kRateMonotonic,
                       rts::SchedulingPolicy::kEdf}) {
     ExperimentConfig cfg;
@@ -173,7 +194,12 @@ int main() {
       // keeping headroom for the stochastic execution times.
       cfg.set_points = linalg::Vector(4, 0.90);
     }
-    const ExperimentResult res = run_experiment(cfg);
+    sched_specs.push_back({is_edf ? "EDF" : "RMS", cfg});
+  }
+  const std::vector<ExperimentResult> sched_results = run_batch(sched_specs);
+  for (std::size_t i = 0; i < sched_results.size(); ++i) {
+    const ExperimentResult& res = sched_results[i];
+    const bool is_edf = i == 1;
     const auto s = metrics::utilization_stats(res, 0, 100);
     std::printf("%s,%.3f,%.4f,%.4f,%.4f\n", is_edf ? "EDF" : "RMS",
                 res.set_points[0], s.mean(), res.deadlines.e2e_miss_ratio(),

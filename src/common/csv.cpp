@@ -23,8 +23,15 @@ std::string escape_cell(const std::string& cell) {
 }  // namespace
 
 std::string CsvWriter::format_double(double v) {
+  // Shortest representation that round-trips the exact double, so values
+  // written to experiment CSVs survive a read-back bit-for-bit ("%.10g"
+  // silently dropped up to 7 bits of mantissa).
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
+#if defined(__cpp_lib_to_chars)
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec == std::errc()) return std::string(buf, ptr);
+#endif
+  std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 

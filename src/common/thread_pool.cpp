@@ -1,0 +1,49 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon {
+
+std::size_t ThreadPool::default_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  if (num_workers == 0) num_workers = default_workers();
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ensure_accepting() const {
+  EUCON_REQUIRE(!stopping_, "submit() on a ThreadPool that is shutting down");
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    // packaged_task delivers exceptions through the future; the invocation
+    // itself never throws.
+    task();
+  }
+}
+
+}  // namespace eucon

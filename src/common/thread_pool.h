@@ -1,0 +1,75 @@
+// Fixed-size worker pool with exception-propagating futures.
+//
+// The pool exists for coarse-grained, independent work — whole experiment
+// runs, not inner-loop parallelism — so the design favors simplicity over
+// lock-free cleverness: one mutex-protected FIFO queue feeds all workers.
+// submit() returns a std::future for the task's result; an exception thrown
+// by the task is captured and rethrown from future::get() with its original
+// type, so callers handle worker failures exactly like serial failures.
+//
+// Destruction drains the queue: every task submitted before the destructor
+// runs is executed to completion, then the workers join. Tasks must
+// therefore not block on work that is itself still queued behind them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace eucon {
+
+class ThreadPool {
+ public:
+  // num_workers = 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns the future for its result. The callable runs
+  // exactly once on some worker; exceptions it throws are delivered through
+  // the future. Safe to call from multiple threads.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ensure_accepting();
+      queue_.emplace([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  // The default worker count submit()/run_batch callers get for "use the
+  // whole machine": hardware_concurrency, clamped to at least 1.
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+  // Precondition-checks that the pool is not shutting down (throws via the
+  // project's check helpers; lives in the .cpp to keep this header light).
+  void ensure_accepting() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace eucon

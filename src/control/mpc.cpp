@@ -102,6 +102,7 @@ MpcController::MpcController(PlantModel model, MpcParams params,
       active_model_(model_),
       params_(std::move(params)),
       mats_(build_mpc_matrices(active_model_, params_)),
+      solver_(mats_.c),
       enabled_(model_.num_tasks(), true),
       gain_estimate_(model_.num_processors(), 1.0),
       rates_(std::move(initial_rates)),
@@ -109,6 +110,7 @@ MpcController::MpcController(PlantModel model, MpcParams params,
   EUCON_REQUIRE(rates_.size() == model_.num_tasks(),
                 "initial rate vector size mismatch");
   rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
+  rebuild_constraint_templates();
 }
 
 void MpcController::set_set_points(const Vector& b) {
@@ -125,6 +127,43 @@ void MpcController::rebuild_active_model() {
       active_model_.f(i, j) =
           enabled_[j] ? gain_estimate_[i] * model_.f(i, j) : 0.0;
   mats_ = build_mpc_matrices(active_model_, params_);
+  solver_.reset(mats_.c);
+  rebuild_constraint_templates();
+}
+
+void MpcController::rebuild_constraint_templates() {
+  const std::size_t n = active_model_.num_processors();
+  const std::size_t m = active_model_.num_tasks();
+  const int mh = params_.control_horizon;
+  const std::size_t cols = m * static_cast<std::size_t>(mh);
+
+  // Distinct utilization constraints exist only for i = 1..M: beyond the
+  // control horizon the predicted utilization is constant (S_i = S_M).
+  const std::size_t util_rows = n * static_cast<std::size_t>(mh);
+  const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
+
+  a_full_ = Matrix(util_rows + rate_rows, cols);
+  a_rates_ = Matrix(rate_rows, cols);
+
+  std::size_t row0 = 0;
+  for (int i = 1; i <= mh; ++i, row0 += n) {
+    const Matrix fsi = active_model_.f * selector(m, mh, i);
+    a_full_.set_block(row0, 0, fsi);
+  }
+  for (int i = 1; i <= mh; ++i, row0 += 2 * m) {
+    const Matrix si = selector(m, mh, i);
+    // r(k+i-1|k) <= R_max  and  -r(k+i-1|k) <= -R_min.
+    a_full_.set_block(row0, 0, si);
+    a_full_.set_block(row0 + m, 0, -1.0 * si);
+    a_rates_.set_block(row0 - util_rows, 0, si);
+    a_rates_.set_block(row0 - util_rows + m, 0, -1.0 * si);
+  }
+  EUCON_ASSERT(row0 == util_rows + rate_rows,
+               "MPC constraint template row mismatch");
+
+  // A model change invalidates the carried working sets.
+  warm_full_.working.clear();
+  warm_rates_.working.clear();
 }
 
 void MpcController::set_enabled_tasks(const std::vector<bool>& enabled) {
@@ -156,37 +195,31 @@ void MpcController::set_gain_estimate(const linalg::Vector& gains) {
   rebuild_active_model();
 }
 
-Vector MpcController::assemble_d(const Vector& u) const {
-  return mats_.du * (active_model_.b - u) + mats_.dr * dr_prev_;
+void MpcController::assemble_d(const Vector& u) {
+  b_minus_u_ = active_model_.b;
+  b_minus_u_ -= u;
+  linalg::multiply_into(mats_.du, b_minus_u_, d_);
+  linalg::multiply_into(mats_.dr, dr_prev_, d_tail_);
+  d_ += d_tail_;
 }
 
-void MpcController::build_constraints(const Vector& u, bool with_util_rows,
-                                      Matrix& a, Vector& b) const {
+void MpcController::fill_constraint_rhs(const Vector& u, bool with_util_rows,
+                                        Vector& b) const {
   const std::size_t n = active_model_.num_processors();
   const std::size_t m = active_model_.num_tasks();
   const int mh = params_.control_horizon;
-  const std::size_t cols = m * static_cast<std::size_t>(mh);
 
-  // Distinct utilization constraints exist only for i = 1..M: beyond the
-  // control horizon the predicted utilization is constant (S_i = S_M).
   const std::size_t util_rows = with_util_rows ? n * static_cast<std::size_t>(mh) : 0;
   const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
-  a = Matrix(util_rows + rate_rows, cols);
-  b = Vector(util_rows + rate_rows);
+  b.data().resize(util_rows + rate_rows);
 
   std::size_t row0 = 0;
   if (with_util_rows) {
-    for (int i = 1; i <= mh; ++i, row0 += n) {
-      const Matrix fsi = active_model_.f * selector(m, mh, i);
-      a.set_block(row0, 0, fsi);
-      for (std::size_t rr = 0; rr < n; ++rr) b[row0 + rr] = active_model_.b[rr] - u[rr];
-    }
+    for (int i = 1; i <= mh; ++i, row0 += n)
+      for (std::size_t rr = 0; rr < n; ++rr)
+        b[row0 + rr] = active_model_.b[rr] - u[rr];
   }
   for (int i = 1; i <= mh; ++i, row0 += 2 * m) {
-    const Matrix si = selector(m, mh, i);
-    // r(k+i-1|k) <= R_max  and  -r(k+i-1|k) <= -R_min.
-    a.set_block(row0, 0, si);
-    a.set_block(row0 + m, 0, -1.0 * si);
     for (std::size_t rr = 0; rr < m; ++rr) {
       b[row0 + rr] = active_model_.rate_max[rr] - rates_[rr];
       b[row0 + m + rr] = rates_[rr] - active_model_.rate_min[rr];
@@ -205,9 +238,7 @@ Vector MpcController::update(const Vector& u) {
   const bool want_util_rows =
       params_.constraint_mode == ConstraintMode::kHardWithFallback;
 
-  qp::LsqlinProblem prob;
-  prob.c = mats_.c;
-  prob.d = assemble_d(u);
+  assemble_d(u);
 
   // Feasible starting points (F >= 0 elementwise, so pushing every rate to
   // R_min minimizes every predicted utilization):
@@ -243,8 +274,11 @@ Vector MpcController::update(const Vector& u) {
   }
   if (!util_rows) x0 = &x_zero;
 
-  build_constraints(u, util_rows, prob.a, prob.b);
-  const qp::LsqlinResult res = qp::lsqlin(prob, x0, params_.solver);
+  fill_constraint_rhs(u, util_rows, b_scratch_);
+  const Matrix& a = util_rows ? a_full_ : a_rates_;
+  qp::WarmStart& warm = util_rows ? warm_full_ : warm_rates_;
+  const qp::LsqlinResult res =
+      solver_.solve(d_, a, b_scratch_, x0, params_.solver, &warm);
   last_status_ = res.status;
 
   // Receding horizon: apply only Δr(k|k). Suspended tasks stay frozen.

@@ -112,19 +112,26 @@ class MpcController final : public Controller {
   std::uint64_t update_count() const { return update_count_; }
 
  private:
-  // Builds the inequality system; `with_util_rows` controls whether the
-  // u(k+i|k) <= B rows are included.
-  void build_constraints(const linalg::Vector& u, bool with_util_rows,
-                         linalg::Matrix& a, linalg::Vector& b) const;
-  linalg::Vector assemble_d(const linalg::Vector& u) const;
-  // Recomputes active_model_.f = diag(gain) * (mask-filtered F) and the
-  // MPC matrices.
+  // Rebuilds the constraint-matrix templates (they depend only on the
+  // active model, not on u or the current rates): `a_full_` carries the
+  // u(k+i|k) <= B rows followed by the rate-bound rows; `a_rates_` the
+  // rate-bound rows alone (the infeasible-instance fallback).
+  void rebuild_constraint_templates();
+  // Fills the per-period right-hand side for the chosen template in place.
+  void fill_constraint_rhs(const linalg::Vector& u, bool with_util_rows,
+                           linalg::Vector& b) const;
+  // Assembles d(k) = du (B - u(k)) + dr Δr(k-1) into the d_ scratch.
+  void assemble_d(const linalg::Vector& u);
+  // Recomputes active_model_.f = diag(gain) * (mask-filtered F), the MPC
+  // matrices, the solver's cached factorization and the constraint
+  // templates.
   void rebuild_active_model();
 
   PlantModel model_;       // as configured
   PlantModel active_model_;  // with suspended tasks' columns zeroed
   MpcParams params_;
   MpcMatrices mats_;
+  qp::LsqlinSolver solver_;  // caches the factorization of mats_.c
   std::vector<bool> enabled_;
   linalg::Vector gain_estimate_;  // per-processor; all-ones = paper's G = I
   linalg::Vector rates_;    // r(k-1), the currently applied rates
@@ -132,6 +139,18 @@ class MpcController final : public Controller {
   qp::Status last_status_ = qp::Status::kOptimal;
   std::uint64_t fallback_count_ = 0;
   std::uint64_t update_count_ = 0;
+
+  // Per-period scratch (sized in rebuild_constraint_templates) and the
+  // receding-horizon warm starts, one per constraint template so working-set
+  // indices never cross row layouts.
+  linalg::Matrix a_full_;    // util rows + rate rows
+  linalg::Matrix a_rates_;   // rate rows only
+  linalg::Vector b_scratch_;
+  linalg::Vector d_;
+  linalg::Vector d_tail_;    // dr Δr(k-1) term
+  linalg::Vector b_minus_u_;
+  qp::WarmStart warm_full_;
+  qp::WarmStart warm_rates_;
 };
 
 }  // namespace eucon::control

@@ -1,6 +1,10 @@
 #include "eucon/experiment.h"
 
+#include <future>
+
 #include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "control/adaptive.h"
 #include "control/decentralized.h"
 #include "control/open_loop.h"
@@ -167,6 +171,59 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.admission_readmissions = governor->readmissions();
   }
   return result;
+}
+
+std::uint64_t batch_run_seed(std::uint64_t seed_base, std::size_t run_index) {
+  // SplitMix64 over (base, index): independent streams per run, stable
+  // under any worker count or scheduling order.
+  std::uint64_t state = seed_base + 0x9e3779b97f4a7c15ULL * (run_index + 1);
+  return splitmix64_next(state);
+}
+
+std::vector<ExperimentResult> run_batch(const std::vector<ExperimentSpec>& specs,
+                                        const BatchOptions& options) {
+  std::vector<ExperimentResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  // Materialize the per-run configs up front so seed derivation happens
+  // exactly once, identically for the serial and the pooled path.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    configs.push_back(specs[i].config);
+    if (options.derive_seeds)
+      configs.back().sim.seed = batch_run_seed(options.seed_base, i);
+  }
+
+  if (options.serial) {
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      results[i] = run_experiment(configs[i]);
+    return results;
+  }
+
+  ThreadPool pool(options.num_workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Each task touches only its own config and result slot; no state is
+    // shared between runs (run_experiment builds its own simulator,
+    // controller and RNG streams from the config).
+    futures.push_back(pool.submit(
+        [&configs, &results, i] { results[i] = run_experiment(configs[i]); }));
+  }
+  // Wait for everything, then surface the first failure (in spec order) —
+  // the pool must fully drain before `configs`/`results` can go away.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+  return results;
+}
+
+std::vector<ExperimentResult> run_batch(
+    const std::vector<ExperimentConfig>& configs, const BatchOptions& options) {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(configs.size());
+  for (const auto& cfg : configs) specs.push_back({std::string(), cfg});
+  return run_batch(specs, options);
 }
 
 }  // namespace eucon

@@ -104,4 +104,46 @@ ExperimentResult run_experiment(const ExperimentConfig& config);
 std::unique_ptr<control::Controller> make_controller(
     const ExperimentConfig& config);
 
+// ---------------------------------------------------------------------------
+// Batch engine: fans independent experiment runs across a worker pool.
+// ---------------------------------------------------------------------------
+
+// One run of a batch: a label (for reports/benches) plus the full config.
+struct ExperimentSpec {
+  std::string name;
+  ExperimentConfig config;
+};
+
+struct BatchOptions {
+  // Worker threads; 0 = one per hardware thread. A single worker still goes
+  // through the pool (useful for pool-path testing).
+  std::size_t num_workers = 0;
+  // Run on the calling thread with no pool at all — the determinism
+  // baseline the parallel path is checked against.
+  bool serial = false;
+  // When true, every run's sim.seed is overridden with an independent
+  // stream derived from (seed_base, run index) via SplitMix64 — runs never
+  // share RNG state, and the assignment does not depend on worker count or
+  // scheduling order. When false (default) each config's own seed is used,
+  // so existing single-run setups batch without behavior change.
+  bool derive_seeds = false;
+  std::uint64_t seed_base = 0;
+};
+
+// The seed the batch engine assigns to run `run_index` when derive_seeds is
+// set (exposed so tests and benches can predict it).
+std::uint64_t batch_run_seed(std::uint64_t seed_base, std::size_t run_index);
+
+// Runs every spec and returns results in spec order. Runs are independent:
+// each gets its own simulator, controller and RNG streams, so the parallel
+// path is bit-identical to the serial path for the same specs. The first
+// exception thrown by a run is rethrown here after all workers finish.
+std::vector<ExperimentResult> run_batch(const std::vector<ExperimentSpec>& specs,
+                                        const BatchOptions& options = {});
+
+// Convenience overload for unnamed configs.
+std::vector<ExperimentResult> run_batch(
+    const std::vector<ExperimentConfig>& configs,
+    const BatchOptions& options = {});
+
 }  // namespace eucon

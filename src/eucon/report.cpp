@@ -39,11 +39,21 @@ void write_rates_csv(const ExperimentResult& result,
 
 void write_summary(const ExperimentResult& result, std::ostream& out,
                    std::size_t steady_from) {
+  // Empty traces (a run aborted before its first sampling period) have no
+  // steady-state window; RunningStats would hand back quiet-NaN min/max and
+  // the NaN would flow silently into the summary, so skip explicitly.
+  if (result.trace.empty()) {
+    out << "periods: 0\n";
+    out << "no samples recorded; per-processor statistics skipped\n";
+    return;
+  }
   if (steady_from == 0) {
     steady_from = result.trace.size() > metrics::kSteadyStateFrom * 2
                       ? metrics::kSteadyStateFrom
                       : result.trace.size() / 3;
   }
+  EUCON_REQUIRE(steady_from < result.trace.size(),
+                "steady-state window starts past the end of the trace");
   out << "periods: " << result.trace.size() << "\n";
   out << "steady-state window: [" << steady_from << ", "
       << result.trace.size() << ")\n";
@@ -57,6 +67,18 @@ void write_summary(const ExperimentResult& result, std::ostream& out,
       << "\n";
   out << "subtask deadline miss ratio: "
       << result.deadlines.subtask_miss_ratio() << "\n";
+  for (std::size_t t = 0; t < result.deadlines.num_tasks(); ++t) {
+    const RunningStats& rt = result.deadlines.task(t).response_time_units;
+    // min()/max() are quiet-NaN on an empty window — a task that never
+    // completed an instance gets an explicit note instead of NaN columns.
+    if (rt.count() == 0) {
+      out << "T" << t + 1 << " response time: no completed instances\n";
+      continue;
+    }
+    out << "T" << t + 1 << " response time: min " << rt.min() << " mean "
+        << rt.mean() << " max " << rt.max() << " (" << rt.count()
+        << " instances)\n";
+  }
   out << "controller fallbacks: " << result.controller_fallbacks << "\n";
   out << "lost reports: " << result.lost_reports << "\n";
   if (result.admission_suspensions || result.admission_readmissions)

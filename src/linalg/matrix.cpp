@@ -193,6 +193,42 @@ Matrix gram(const Matrix& a) {
   return g;
 }
 
+void multiply_into(const Matrix& a, const Vector& x, Vector& out) {
+  EUCON_REQUIRE(a.cols() == x.size(), "matrix-vector size mismatch");
+  out.data().resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    out[i] = acc;
+  }
+  EUCON_CHECK_FINITE_VEC("multiply_into", out);
+}
+
+void transpose_times_into(const Matrix& a, const Vector& x, Vector& out) {
+  EUCON_REQUIRE(a.rows() == x.size(), "transpose_times size mismatch");
+  out.data().assign(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;  // eucon-lint: allow(float-equality)
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a(i, j) * xi;
+  }
+  EUCON_CHECK_FINITE_VEC("transpose_times_into", out);
+}
+
+void gram_into(const Matrix& a, Matrix& out) {
+  if (out.rows() != a.cols() || out.cols() != a.cols())
+    out = Matrix(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) acc += a(r, i) * a(r, j);
+      out(i, j) = acc;
+      out(j, i) = acc;
+    }
+  }
+  EUCON_CHECK_FINITE_MAT("gram_into", out);
+}
+
 bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
   for (std::size_t r = 0; r < a.rows(); ++r)

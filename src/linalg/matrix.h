@@ -73,6 +73,13 @@ Vector transpose_times(const Matrix& a, const Vector& x);
 // A^T A (symmetric; computed directly).
 Matrix gram(const Matrix& a);
 
+// Scratch-buffer variants for per-period hot paths (MPC controller / QP):
+// `out` is resized once and reused, so steady-state calls never touch the
+// heap. Aliasing `out` with an input is not allowed.
+void multiply_into(const Matrix& a, const Vector& x, Vector& out);
+void transpose_times_into(const Matrix& a, const Vector& x, Vector& out);
+void gram_into(const Matrix& a, Matrix& out);
+
 bool approx_equal(const Matrix& a, const Matrix& b, double tol);
 
 // Vertical stack: rows of `a` above rows of `b` (column counts must match;

@@ -86,6 +86,12 @@ Vector operator*(double s, Vector v) { return v *= s; }
 Vector operator*(Vector v, double s) { return v *= s; }
 Vector operator-(Vector v) { return v *= -1.0; }
 
+void add_scaled(Vector& y, double alpha, const Vector& x) {
+  EUCON_REQUIRE(y.size() == x.size(), "vector size mismatch in add_scaled");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+  EUCON_CHECK_FINITE_VEC("add_scaled", y);
+}
+
 bool approx_equal(const Vector& a, const Vector& b, double tol) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i)

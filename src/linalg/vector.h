@@ -54,4 +54,7 @@ Vector operator-(Vector v);
 // True iff |a_i - b_i| <= tol for all i (sizes must match).
 bool approx_equal(const Vector& a, const Vector& b, double tol);
 
+// y += alpha * x without materializing the scaled temporary (hot-path axpy).
+void add_scaled(Vector& y, double alpha, const Vector& x);
+
 }  // namespace eucon::linalg

@@ -63,7 +63,8 @@ double max_violation(const Matrix& a, const Vector& b, const Vector& x) {
 }
 
 Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
-                const Vector& b, const Vector* x0, const Options& opts) {
+                const Vector& b, const Vector* x0, const Options& opts,
+                WarmStart* warm) {
   const std::size_t n = f.size();
   EUCON_REQUIRE(h_in.rows() == n && h_in.cols() == n, "H size mismatch");
   EUCON_REQUIRE(a.rows() == b.size(), "A/b size mismatch");
@@ -95,12 +96,29 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
     res.x = phase1.x;
   }
 
-  // Active-set iteration.
+  // Active-set iteration. A warm start seeds the working set with the
+  // previous solve's active constraints — but only those actually active at
+  // the starting point, since holding a slack constraint as an equality
+  // would let the solver terminate at a point violating complementary
+  // slackness.
   std::vector<std::size_t> working;  // indices of constraints held active
+  if (warm != nullptr) {
+    for (std::size_t i : warm->working) {
+      if (i >= a.rows()) continue;
+      if (std::find(working.begin(), working.end(), i) != working.end())
+        continue;
+      double a_x = 0.0;
+      for (std::size_t j = 0; j < n; ++j) a_x += a(i, j) * res.x[j];
+      if (std::abs(a_x - b[i]) <= 1e2 * opts.constraint_tol * (1.0 + std::abs(b[i])))
+        working.push_back(i);
+    }
+  }
   Vector p, lambda;
+  Vector g(n);  // gradient scratch, reused across iterations
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     res.iterations = iter + 1;
-    const Vector g = h * res.x + f;
+    multiply_into(h, res.x, g);
+    g += f;
     if (!solve_eqp(h, g, a, working, p, lambda)) {
       // Dependent working set (can happen right after adding a blocking
       // constraint parallel to existing ones): drop the newest member.
@@ -122,6 +140,7 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
       if (most_negative < 0) {
         res.status = Status::kOptimal;
         res.objective = objective_value(h_in, f, res.x);
+        if (warm != nullptr) warm->working = working;
         EUCON_CHECK_FINITE_VEC("solve_qp result", res.x);
         return res;
       }
@@ -149,7 +168,7 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
       }
     }
 
-    if (alpha > 0.0) res.x += alpha * p;
+    if (alpha > 0.0) linalg::add_scaled(res.x, alpha, p);
     if (blocking >= 0) working.push_back(static_cast<std::size_t>(blocking));
   }
 

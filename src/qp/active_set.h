@@ -11,6 +11,9 @@
 // robustness is preferred over factorization updates.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -40,13 +43,26 @@ struct Result {
   double objective = 0.0;  // 0.5 x'Hx + f'x at the returned x
 };
 
+// Carries the active working set from one solve to the next. A sequence of
+// closely-related QPs (the MPC's receding-horizon instances) tends to keep
+// the same constraints active; seeding the working set from the previous
+// period's solution skips the iterations that would rediscover it. On
+// entry, indices are kept only where the constraint is actually active at
+// the starting point (anything else would break complementary slackness);
+// on exit the final working set is written back. An empty set is always a
+// valid (cold) start.
+struct WarmStart {
+  std::vector<std::size_t> working;
+};
+
 // Solves the QP. If `x0` is non-null it must be feasible (within
 // constraint_tol) and is used as the starting point; otherwise an internal
 // phase-1 problem computes a feasible start (or proves infeasibility).
 // A may have zero rows (unconstrained problem).
 Result solve_qp(const linalg::Matrix& h, const linalg::Vector& f,
                 const linalg::Matrix& a, const linalg::Vector& b,
-                const linalg::Vector* x0 = nullptr, const Options& opts = {});
+                const linalg::Vector* x0 = nullptr, const Options& opts = {},
+                WarmStart* warm = nullptr);
 
 // Finds any x with A x <= b (phase-1). Status is kOptimal on success with
 // the point in `x`, kInfeasible otherwise.

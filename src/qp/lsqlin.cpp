@@ -61,4 +61,60 @@ LsqlinResult lsqlin(const LsqlinProblem& prob, const Vector* x0,
   return out;
 }
 
+LsqlinSolver::LsqlinSolver(linalg::Matrix c)
+    : c_(std::move(c)), qr_(c_), h_(linalg::gram(c_)) {
+  h_ *= 2.0;
+}
+
+void LsqlinSolver::reset(linalg::Matrix c) {
+  c_ = std::move(c);
+  qr_ = linalg::Qr(c_);
+  linalg::gram_into(c_, h_);
+  h_ *= 2.0;
+}
+
+LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
+                                 const Vector& b, const Vector* x0,
+                                 const Options& opts, WarmStart* warm) {
+  EUCON_REQUIRE(d.size() == c_.rows(), "LsqlinSolver: C/d size mismatch");
+  EUCON_REQUIRE(a.rows() == b.size(), "LsqlinSolver: A/b size mismatch");
+  EUCON_REQUIRE(a.rows() == 0 || a.cols() == c_.cols(),
+                "LsqlinSolver: A column mismatch");
+  EUCON_CHECK_FINITE_VEC("LsqlinSolver input d", d);
+
+  LsqlinResult out;
+
+  // Fast path: the unconstrained minimizer from the cached QR. Feasible ⇒
+  // optimal (the constrained optimum can never beat the unconstrained one).
+  if (qr_.full_rank()) {
+    Vector x_u = qr_.solve_least_squares(d);
+    if (max_violation(a, b, x_u) <= opts.constraint_tol) {
+      out.x = std::move(x_u);
+      out.status = Status::kOptimal;
+      out.iterations = 0;
+      multiply_into(c_, out.x, resid_);
+      resid_ -= d;
+      out.residual_norm = resid_.norm2();
+      // The working set at an interior optimum is empty; hand that to the
+      // next solve rather than a stale set.
+      if (warm != nullptr) warm->working.clear();
+      return out;
+    }
+  }
+
+  linalg::transpose_times_into(c_, d, f_);
+  f_ *= -2.0;
+  const Result qp_res = solve_qp(h_, f_, a, b, x0, opts, warm);
+  out.x = qp_res.x;
+  out.status = qp_res.status;
+  out.iterations = qp_res.iterations;
+  if (!out.x.empty()) {
+    multiply_into(c_, out.x, resid_);
+    resid_ -= d;
+    out.residual_norm = resid_.norm2();
+  }
+  EUCON_CHECK_FINITE_VEC("LsqlinSolver result", out.x);
+  return out;
+}
+
 }  // namespace eucon::qp

@@ -7,6 +7,7 @@
 // the active-set QP).
 #pragma once
 
+#include "linalg/qr.h"
 #include "qp/active_set.h"
 
 namespace eucon::qp {
@@ -32,5 +33,42 @@ struct LsqlinResult {
 LsqlinResult lsqlin(const LsqlinProblem& prob,
                     const linalg::Vector* x0 = nullptr,
                     const Options& opts = {});
+
+// Repeated-solve variant for the controller hot path: min ||C x - d||_2^2
+// s.t. A x <= b, where C is fixed across many solves but d/A/b change every
+// sampling period. The constructor factorizes C once — Householder QR for
+// the unconstrained fast path, plus the QP Hessian H = 2 C'C — instead of
+// lsqlin()'s per-call Gram product and matrix copy. Box constraints are not
+// folded here; callers encode them as rows of A (the MPC constraint builder
+// already does).
+//
+// Per solve:
+//   1. If the cached-QR unconstrained minimizer satisfies A x <= b it is
+//      returned directly (0 active-set iterations) — the common steady-state
+//      case for the MPC once utilization has converged.
+//   2. Otherwise the active-set QP runs with the cached Hessian; `warm`
+//      (optional) carries the working set between consecutive solves.
+class LsqlinSolver {
+ public:
+  explicit LsqlinSolver(linalg::Matrix c);
+
+  // Re-factorizes for a new C (model / allocation / gain change).
+  void reset(linalg::Matrix c);
+
+  const linalg::Matrix& c() const { return c_; }
+
+  // `x0`, when given, must satisfy A x <= b and seeds the active set.
+  LsqlinResult solve(const linalg::Vector& d, const linalg::Matrix& a,
+                     const linalg::Vector& b,
+                     const linalg::Vector* x0 = nullptr,
+                     const Options& opts = {}, WarmStart* warm = nullptr);
+
+ private:
+  linalg::Matrix c_;
+  linalg::Qr qr_;      // cached factorization of C
+  linalg::Matrix h_;   // cached 2 C'C (the QP Hessian)
+  linalg::Vector f_;   // scratch: -2 C'd
+  linalg::Vector resid_;  // scratch: C x - d
+};
 
 }  // namespace eucon::qp

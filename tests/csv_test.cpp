@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 
 namespace eucon {
 namespace {
@@ -32,6 +35,36 @@ TEST(CsvTest, EscapesEmbeddedQuotes) {
 TEST(CsvTest, DoubleFormattingRoundTrips) {
   EXPECT_EQ(CsvWriter::format_double(0.8284271247), "0.8284271247");
   EXPECT_EQ(CsvWriter::format_double(-2.0), "-2");
+}
+
+TEST(CsvTest, DoubleFormattingRoundTripsExactly) {
+  // format_double must emit a string that parses back to the identical
+  // bits, including values %.10g visibly truncates (0.1's nearest double,
+  // 1/3, sqrt(2)-based set points) and extreme magnitudes.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           2.0 * (std::sqrt(2.0) - 1.0),
+                           3.141592653589793,
+                           -123456.789012345,
+                           1e-300,
+                           1e300,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           0.0};
+  for (double v : values) {
+    const std::string s = CsvWriter::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << "failed to round-trip through \"" << s
+                               << "\"";
+  }
+}
+
+TEST(CsvTest, DoubleFormattingIsShortest) {
+  // Shortest-round-trip output: no padding digits on exactly representable
+  // values, full precision only where needed.
+  EXPECT_EQ(CsvWriter::format_double(0.1), "0.1");
+  EXPECT_EQ(CsvWriter::format_double(0.25), "0.25");
+  EXPECT_EQ(CsvWriter::format_double(100.0), "100");
+  EXPECT_EQ(CsvWriter::format_double(1.0 / 3.0), "0.3333333333333333");
 }
 
 TEST(CsvTest, FileWriterRejectsBadPath) {

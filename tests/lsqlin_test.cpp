@@ -86,6 +86,111 @@ TEST(LsqlinTest, SizeMismatchThrows) {
   EXPECT_THROW(lsqlin(prob), std::invalid_argument);
 }
 
+// --- LsqlinSolver (cached factorization + warm start) ----------------------
+
+struct SolverFixture {
+  Matrix c;
+  Matrix a;
+  Vector b;
+
+  // MPC-shaped: tall random C, rate bounds encoded as A = [I; -I].
+  explicit SolverFixture(std::size_t n, std::uint64_t seed,
+                         double bound = 0.5) {
+    Rng rng(seed);
+    c = Matrix(2 * n, n);
+    for (std::size_t r = 0; r < c.rows(); ++r)
+      for (std::size_t cc = 0; cc < n; ++cc) c(r, cc) = rng.uniform(-1.0, 1.0);
+    a = Matrix(2 * n, n);
+    b = Vector(2 * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      a(j, j) = 1.0;
+      b[j] = bound;
+      a(n + j, j) = -1.0;
+      b[n + j] = bound;
+    }
+  }
+
+  Vector target(std::uint64_t seed, double scale) const {
+    Rng rng(seed);
+    Vector d(c.rows());
+    for (std::size_t r = 0; r < d.size(); ++r)
+      d[r] = rng.uniform(-scale, scale);
+    return d;
+  }
+};
+
+TEST(LsqlinSolverTest, MatchesOneShotLsqlinOnActiveConstraints) {
+  const SolverFixture fx(4, 11);
+  // Large targets push the minimizer against the bounds, so the active-set
+  // path (not just the fast path) is compared.
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    const Vector d = fx.target(s, 3.0);
+    LsqlinProblem prob{fx.c, d, fx.a, fx.b, {}, {}};
+    const LsqlinResult one = lsqlin(prob);
+    LsqlinSolver solver(fx.c);
+    const LsqlinResult cached = solver.solve(d, fx.a, fx.b);
+    ASSERT_EQ(one.status, Status::kOptimal);
+    ASSERT_EQ(cached.status, Status::kOptimal);
+    for (std::size_t i = 0; i < cached.x.size(); ++i)
+      EXPECT_NEAR(cached.x[i], one.x[i], 1e-6) << "target seed " << s;
+    EXPECT_NEAR(cached.residual_norm, one.residual_norm, 1e-6);
+  }
+}
+
+TEST(LsqlinSolverTest, FastPathWhenUnconstrainedMinimizerFeasible) {
+  const SolverFixture fx(4, 5, /*bound=*/100.0);  // bounds far away
+  LsqlinSolver solver(fx.c);
+  const LsqlinResult res = solver.solve(fx.target(1, 0.5), fx.a, fx.b);
+  ASSERT_EQ(res.status, Status::kOptimal);
+  // The cached-QR minimizer satisfied every constraint: zero QP iterations.
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(LsqlinSolverTest, WarmStartStaysOptimalAcrossPerturbedSolves) {
+  const SolverFixture fx(5, 23);
+  LsqlinSolver solver(fx.c);
+  WarmStart warm;
+  int cold_iters = 0, warm_iters = 0;
+  for (std::uint64_t s = 1; s <= 12; ++s) {
+    // Slowly drifting targets, like consecutive sampling periods.
+    const Vector d = fx.target(100 + s / 4, 2.5);
+    const LsqlinResult with_warm = solver.solve(d, fx.a, fx.b, nullptr, {},
+                                                &warm);
+    const LsqlinResult cold = solver.solve(d, fx.a, fx.b);
+    ASSERT_EQ(with_warm.status, Status::kOptimal);
+    ASSERT_EQ(cold.status, Status::kOptimal);
+    for (std::size_t i = 0; i < cold.x.size(); ++i)
+      EXPECT_NEAR(with_warm.x[i], cold.x[i], 1e-6) << "solve " << s;
+    warm_iters += with_warm.iterations;
+    cold_iters += cold.iterations;
+  }
+  // Warm starting must never cost extra iterations over the sequence.
+  EXPECT_LE(warm_iters, cold_iters);
+}
+
+TEST(LsqlinSolverTest, ResetRefactorizesForNewC) {
+  const SolverFixture fx1(4, 31);
+  const SolverFixture fx2(4, 32);
+  LsqlinSolver solver(fx1.c);
+  (void)solver.solve(fx1.target(1, 3.0), fx1.a, fx1.b);
+  solver.reset(fx2.c);
+  const Vector d = fx2.target(2, 3.0);
+  const LsqlinResult cached = solver.solve(d, fx2.a, fx2.b);
+  LsqlinProblem prob{fx2.c, d, fx2.a, fx2.b, {}, {}};
+  const LsqlinResult one = lsqlin(prob);
+  ASSERT_EQ(cached.status, Status::kOptimal);
+  for (std::size_t i = 0; i < cached.x.size(); ++i)
+    EXPECT_NEAR(cached.x[i], one.x[i], 1e-6);
+}
+
+TEST(LsqlinSolverTest, RejectsMismatchedSizes) {
+  const SolverFixture fx(3, 41);
+  LsqlinSolver solver(fx.c);
+  EXPECT_THROW(solver.solve(Vector(2), fx.a, fx.b), std::invalid_argument);
+  EXPECT_THROW(solver.solve(fx.target(1, 1.0), Matrix(2, 5), Vector(2)),
+               std::invalid_argument);
+}
+
 // Property sweep: on random feasible problems the KKT conditions must hold:
 // the (negative) gradient at the optimum lies in the cone of active
 // constraint normals. We verify via a projection test: moving along any

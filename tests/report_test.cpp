@@ -74,6 +74,45 @@ TEST(ReportTest, WriteAllCreatesThreeFiles) {
   }
 }
 
+TEST(ReportTest, SummaryHandlesEmptyTrace) {
+  // A run that aborted before its first sampling period: the summary must
+  // say so instead of feeding RunningStats' quiet-NaN min/max into the
+  // output.
+  ExperimentResult empty;
+  std::ostringstream out;
+  write_summary(empty, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("periods: 0"), std::string::npos);
+  EXPECT_NE(s.find("statistics skipped"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos) << s;
+}
+
+TEST(ReportTest, SummaryNotesTasksWithNoCompletedInstances) {
+  auto res = small_run();
+  // Graft a deadline table where T2 released an instance but never
+  // completed one — its response-time window is empty (NaN min/max).
+  rts::DeadlineStats d(2);
+  d.on_instance_released(0);
+  d.on_instance_completed(0, 150, 200, 0);
+  d.on_instance_released(1);
+  res.deadlines = d;
+  std::ostringstream out;
+  write_summary(res, out, 10);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("T1 response time: min"), std::string::npos) << s;
+  EXPECT_NE(s.find("T2 response time: no completed instances"),
+            std::string::npos)
+      << s;
+  EXPECT_EQ(s.find("nan"), std::string::npos) << s;
+}
+
+TEST(ReportTest, SummaryRejectsWindowPastEndOfTrace) {
+  const auto res = small_run();
+  std::ostringstream out;
+  EXPECT_THROW(write_summary(res, out, res.trace.size()),
+               std::invalid_argument);
+}
+
 TEST(ReportTest, WriteAllRejectsBadPrefix) {
   rts::SystemSpec spec;
   const auto res = small_run(&spec);

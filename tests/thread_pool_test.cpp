@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eucon {
+namespace {
+
+TEST(ThreadPoolTest, DefaultWorkerCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+  ThreadPool pool;
+  EXPECT_GE(pool.num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasksExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  const int kTasks = 200;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  std::set<int> seen;
+  for (auto& f : futures) seen.insert(f.get());
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesWithOriginalType) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { EUCON_FAIL_INVALID("bad task input"); });
+  EXPECT_THROW(f.get(), std::invalid_argument);
+
+  auto g = pool.submit([]() -> int { EUCON_FAIL("task blew up"); });
+  try {
+    g.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task blew up");
+  }
+}
+
+TEST(ThreadPoolTest, FailedTaskDoesNotPoisonPool) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([]() -> int { EUCON_FAIL("first fails"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, TeardownDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  const int kTasks = 50;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    // Destructor must run every queued task to completion before joining.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, VoidTasksWork) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto f = pool.submit([&ran] { ran.store(true); });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitFromMultipleThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> fs;
+      fs.reserve(25);
+      for (int i = 0; i < 25; ++i)
+        fs.push_back(pool.submit(
+            [&counter] { counter.fetch_add(1, std::memory_order_relaxed); }));
+      for (auto& f : fs) f.get();
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace eucon

@@ -7,7 +7,9 @@
 #   asan-ubsan     -DEUCON_SANITIZE=address;undefined (halt on first finding)
 #   numeric        -DEUCON_NUMERIC_CHECKS=ON (std::isfinite guards in linalg/
 #                  qp/control; numeric_guard_test's injection tests activate)
-#   tsan           -DEUCON_SANITIZE=thread (opt-in via --tsan)
+#   tsan           -DEUCON_SANITIZE=thread (opt-in via --tsan); runs the
+#                  concurrency-focused subset: thread-pool tests, batch
+#                  engine determinism tests, and the bench_perf smoke run
 #
 # plus the project linter (tools/eucon_lint) over the whole tree.
 #
@@ -33,16 +35,28 @@ fi
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
+# configure_build_test NAME [--tests REGEX] [cmake args...]
+# With --tests, only the ctest cases matching REGEX run (used by the tsan
+# preset to focus on the concurrency surface).
 configure_build_test() {
   local name="$1"
   shift
+  local filter=""
+  if [ "${1:-}" = "--tests" ]; then
+    filter="$2"
+    shift 2
+  fi
   local dir="$ROOT/build-$name"
   echo "=== [$name] configure ==="
   cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  if [ -n "$filter" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
   echo "=== [$name] OK ==="
 }
 
@@ -85,7 +99,7 @@ for arg in "$@"; do
     --tidy) MODE="tidy" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
-      sed -n '2,22p' "$0"
+      sed -n '2,24p' "$0"
       exit 0
       ;;
     *)
@@ -112,7 +126,12 @@ case "$MODE" in
     configure_build_test asan-ubsan "-DEUCON_SANITIZE=address;undefined"
     configure_build_test numeric -DEUCON_NUMERIC_CHECKS=ON
     if [ "$TSAN" = 1 ]; then
-      configure_build_test tsan -DEUCON_SANITIZE=thread
+      # Focused on the concurrency surface: the thread pool, the parallel
+      # batch engine (serial-vs-pool determinism), and the bench_perf smoke
+      # run (pooled batch section + JSON schema validation).
+      configure_build_test tsan \
+        --tests 'ThreadPoolTest|BatchTest|bench_perf_smoke' \
+        -DEUCON_SANITIZE=thread
     fi
     ;;
 esac
