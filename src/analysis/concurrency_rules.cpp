@@ -1,0 +1,362 @@
+// The concurrency rule family: compile-time-ish lock discipline and
+// determinism hazards the batch engine (eucon/experiment run_batch) must
+// stay free of. These rules read the same EUCON_* capability annotations
+// (common/annotations.h) that clang's -Wthread-safety enforces, so the
+// discipline is still checked — approximately, at token level — on
+// GCC-only machines.
+//
+//   locked-field-access     EUCON_GUARDED_BY(m) fields only under m
+//   detached-thread         no detach(), no raw std::thread outside
+//                           common/thread_pool (and common/mutex.h)
+//   blocking-in-callback    no .get()/wait()/sleep_for inside lambdas
+//                           handed to ThreadPool::submit
+//   nondeterministic-parallel  no static/thread_local RNG state, no
+//                           std::random_device — determinism is a tested
+//                           invariant (batch serial-vs-pool bit equality)
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace eucon::analysis {
+
+namespace {
+
+bool ident_in(const Token& t, std::initializer_list<const char*> names) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const char* n : names)
+    if (t.text == n) return true;
+  return false;
+}
+
+// Collects the identifiers inside the balanced paren group opening at
+// `open` (which must index a "(" token). Returns the index of the closing
+// ")" (or the last token). Identifiers preceded by "!" (negative
+// capabilities, e.g. EUCON_REQUIRES(!mu)) are excluded.
+std::size_t paren_identifiers(const std::vector<Token>& c, std::size_t open,
+                              std::set<std::string>& out) {
+  int depth = 0;
+  std::size_t j = open;
+  for (; j < c.size(); ++j) {
+    if (is_punct(c[j], "(")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(c[j], ")")) {
+      --depth;
+      if (depth == 0) break;
+      continue;
+    }
+    if (depth > 0 && c[j].kind == TokenKind::kIdentifier &&
+        !(j > 0 && is_punct(c[j - 1], "!")))
+      out.insert(c[j].text);
+  }
+  return j;
+}
+
+// Skips a template-argument group "<...>" starting at `i`; returns the
+// index just past the closing ">". ">>" closes two levels.
+std::size_t skip_angles(const std::vector<Token>& c, std::size_t i) {
+  if (i >= c.size() || !is_punct(c[i], "<")) return i;
+  int depth = 0;
+  for (; i < c.size(); ++i) {
+    if (is_punct(c[i], "<")) ++depth;
+    if (is_punct(c[i], ">")) --depth;
+    if (is_punct(c[i], ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return i;
+}
+
+constexpr const char* kLockRaii[] = {"lock_guard", "unique_lock",
+                                     "scoped_lock", "MutexLock"};
+
+bool is_lock_raii(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const char* n : kLockRaii)
+    if (t.text == n) return true;
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// locked-field-access
+// --------------------------------------------------------------------------
+
+void check_locked_field_access(FileContext& ctx) {
+  if (ctx.guarded_fields.empty()) return;
+  const std::vector<Token>& c = ctx.code;
+
+  std::set<std::string> known_mutexes;
+  for (const auto& [field, mu] : ctx.guarded_fields) known_mutexes.insert(mu);
+
+  // Stack of lexical scopes, each carrying the set of mutexes held when it
+  // opened (RAII locks declared inside add to the current scope).
+  std::vector<std::set<std::string>> held{{}};
+  // Mutexes a function signature promised via EUCON_REQUIRES/EUCON_ACQUIRE;
+  // seeds the next "{" (the body), cleared by ";" (a mere declaration).
+  std::set<std::string> pending;
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Token& t = c[i];
+    if (is_punct(t, "{")) {
+      std::set<std::string> scope = held.back();
+      scope.insert(pending.begin(), pending.end());
+      pending.clear();
+      held.push_back(std::move(scope));
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (held.size() > 1) held.pop_back();
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      pending.clear();
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    if (t.text == "EUCON_REQUIRES" || t.text == "EUCON_ACQUIRE") {
+      if (i + 1 < c.size() && is_punct(c[i + 1], "("))
+        i = paren_identifiers(c, i + 1, pending);
+      continue;
+    }
+    if (is_lock_raii(t)) {
+      // <template-args>? <variable-name>? ( mutex, ... )
+      std::size_t j = skip_angles(c, i + 1);
+      if (j < c.size() && c[j].kind == TokenKind::kIdentifier) ++j;
+      if (j < c.size() && is_punct(c[j], "(")) {
+        std::set<std::string> args;
+        i = paren_identifiers(c, j, args);
+        held.back().insert(args.begin(), args.end());
+      }
+      continue;
+    }
+    // Direct mu.lock() / mu.unlock() calls on a known guarding mutex.
+    if (known_mutexes.count(t.text) && i + 3 < c.size() &&
+        (is_punct(c[i + 1], ".") || is_punct(c[i + 1], "->")) &&
+        is_punct(c[i + 3], "(")) {
+      if (is_identifier(c[i + 2], "lock")) {
+        held.back().insert(t.text);
+        i += 3;
+        continue;
+      }
+      if (is_identifier(c[i + 2], "unlock")) {
+        held.back().erase(t.text);
+        i += 3;
+        continue;
+      }
+    }
+    // Out-of-class definition of a method annotated EUCON_REQUIRES in the
+    // (companion) header: Class::method( — its body holds the mutexes.
+    const auto req = ctx.required_mutexes.find(t.text);
+    if (req != ctx.required_mutexes.end() && i > 0 &&
+        is_punct(c[i - 1], "::") && i + 1 < c.size() &&
+        is_punct(c[i + 1], "(")) {
+      pending.insert(req->second.begin(), req->second.end());
+      continue;
+    }
+    // Finally: is this a guarded field touched without its mutex?
+    const auto guard = ctx.guarded_fields.find(t.text);
+    if (guard == ctx.guarded_fields.end()) continue;
+    if (i + 1 < c.size() &&
+        ident_in(c[i + 1], {"EUCON_GUARDED_BY", "EUCON_PT_GUARDED_BY"}))
+      continue;  // the declaration itself
+    if (!held.back().count(guard->second))
+      ctx.report(t.line, t.col, "locked-field-access",
+                 "'" + t.text + "' is EUCON_GUARDED_BY(" + guard->second +
+                     ") but this scope does not hold " + guard->second);
+  }
+}
+
+// --------------------------------------------------------------------------
+// detached-thread
+// --------------------------------------------------------------------------
+
+void check_detached_thread(FileContext& ctx) {
+  if (ctx.thread_owner) return;
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (is_identifier(c[i], "std") && i + 2 < c.size() &&
+        is_punct(c[i + 1], "::") &&
+        ident_in(c[i + 2], {"thread", "jthread"})) {
+      // std::thread::hardware_concurrency() and friends are fine; it is
+      // the raw thread object (construction, members, containers of them)
+      // that must stay inside common/thread_pool.
+      const bool static_member =
+          i + 3 < c.size() && is_punct(c[i + 3], "::");
+      if (!static_member)
+        ctx.report(c[i].line, c[i].col, "detached-thread",
+                   "raw std::" + c[i + 2].text +
+                       " outside common/thread_pool; use ThreadPool");
+      continue;
+    }
+    if ((is_punct(c[i], ".") || is_punct(c[i], "->")) && i + 2 < c.size() &&
+        is_identifier(c[i + 1], "detach") && is_punct(c[i + 2], "(")) {
+      ctx.report(c[i + 1].line, c[i + 1].col, "detached-thread",
+                 "detach() orphans the thread past all shutdown and "
+                 "sanitizer coverage; join via ThreadPool instead");
+      continue;
+    }
+    if (is_identifier(c[i], "pthread_create") && i + 1 < c.size() &&
+        is_punct(c[i + 1], "("))
+      ctx.report(c[i].line, c[i].col, "detached-thread",
+                 "pthread_create outside common/thread_pool; use ThreadPool");
+  }
+}
+
+// --------------------------------------------------------------------------
+// blocking-in-callback
+// --------------------------------------------------------------------------
+
+void check_blocking_in_callback(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (!is_identifier(c[i], "submit") || !is_punct(c[i + 1], "(")) continue;
+    // Scan the balanced argument list; anything inside a braced region in
+    // there is a task body that will run on a pool worker.
+    int parens = 1;
+    int braces = 0;
+    for (std::size_t j = i + 2; j < c.size() && parens > 0; ++j) {
+      if (is_punct(c[j], "(")) ++parens;
+      if (is_punct(c[j], ")")) --parens;
+      if (is_punct(c[j], "{")) ++braces;
+      if (is_punct(c[j], "}")) --braces;
+      if (braces <= 0) continue;
+      if ((is_punct(c[j], ".") || is_punct(c[j], "->")) && j + 2 < c.size() &&
+          ident_in(c[j + 1], {"get", "wait", "wait_for", "wait_until"}) &&
+          is_punct(c[j + 2], "("))
+        ctx.report(c[j + 1].line, c[j + 1].col, "blocking-in-callback",
+                   "." + c[j + 1].text +
+                       "() inside a pooled task can deadlock the pool "
+                       "(tasks must not block on other queued work)");
+      if (ident_in(c[j], {"sleep_for", "sleep_until"}) && j + 1 < c.size() &&
+          is_punct(c[j + 1], "("))
+        ctx.report(c[j].line, c[j].col, "blocking-in-callback",
+                   c[j].text +
+                       " inside a pooled task stalls a worker; model delay "
+                       "in simulation time instead");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// nondeterministic-parallel
+// --------------------------------------------------------------------------
+
+constexpr const char* kRngTypes[] = {
+    "Rng",          "mt19937",     "mt19937_64",           "minstd_rand",
+    "minstd_rand0", "ranlux24",    "ranlux48",             "knuth_b",
+    "random_device", "default_random_engine",
+};
+
+bool is_rng_type(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const char* n : kRngTypes)
+    if (t.text == n) return true;
+  return false;
+}
+
+// Heuristic filter: after `static <RngType> name`, a "(" whose first token
+// looks like a parameter type means a factory *function* declaration, not
+// shared RNG state.
+bool looks_like_function_params(const std::vector<Token>& c, std::size_t open) {
+  if (open + 1 >= c.size()) return false;
+  if (is_punct(c[open + 1], ")")) return true;  // no-arg declaration
+  return ident_in(c[open + 1], {"std", "const", "int", "long", "unsigned",
+                                "double", "float", "bool", "char", "auto",
+                                "void", "size_t", "uint64_t", "uint32_t"});
+}
+
+void check_nondeterministic_parallel(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (is_identifier(c[i], "random_device")) {
+      ctx.report(c[i].line, c[i].col, "nondeterministic-parallel",
+                 "std::random_device is nondeterministic; all randomness "
+                 "must flow from seeded common/rng.h streams");
+      continue;
+    }
+    if (!ident_in(c[i], {"static", "thread_local"})) continue;
+    // Window-scan the declaration for an RNG type; const static state
+    // cannot be mutated, so it is exempt.
+    bool saw_const = false;
+    for (std::size_t j = i + 1; j < c.size() && j < i + 8; ++j) {
+      if (is_punct(c[j], ";") || is_punct(c[j], "=") || is_punct(c[j], "(") ||
+          is_punct(c[j], "{"))
+        break;
+      if (is_identifier(c[j], "const")) saw_const = true;
+      if (!is_rng_type(c[j])) continue;
+      if (saw_const) break;
+      // static Rng name(...) could be a factory declaration; peek.
+      std::size_t k = j + 1;
+      if (k < c.size() && is_punct(c[k], "<")) k = skip_angles(c, k);
+      if (k < c.size() && c[k].kind == TokenKind::kIdentifier) ++k;
+      if (k < c.size() && is_punct(c[k], "(") &&
+          looks_like_function_params(c, k))
+        break;
+      ctx.report(c[j].line, c[j].col, "nondeterministic-parallel",
+                 c[i].text + " " + c[j].text +
+                     " is RNG state shared across pooled runs and breaks "
+                     "batch determinism; derive per-run streams "
+                     "(Rng::split / batch_run_seed)");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void collect_lock_discipline(
+    const std::vector<Token>& code,
+    std::map<std::string, std::string>& guarded_fields,
+    std::map<std::string, std::set<std::string>>& required_mutexes) {
+  const std::vector<Token>& c = code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (ident_in(c[i], {"EUCON_GUARDED_BY", "EUCON_PT_GUARDED_BY"})) {
+      if (i == 0 || c[i - 1].kind != TokenKind::kIdentifier) continue;
+      if (i + 1 >= c.size() || !is_punct(c[i + 1], "(")) continue;
+      std::set<std::string> args;
+      paren_identifiers(c, i + 1, args);
+      if (args.empty()) continue;
+      // For a qualified guard (obj.mu) the mutex name is the last part.
+      guarded_fields[c[i - 1].text] = *args.rbegin();
+      continue;
+    }
+    if (is_identifier(c[i], "EUCON_REQUIRES")) {
+      if (i + 1 >= c.size() || !is_punct(c[i + 1], "(")) continue;
+      std::set<std::string> mutexes;
+      paren_identifiers(c, i + 1, mutexes);
+      if (mutexes.empty()) continue;
+      // Walk back over trailing specifiers to the parameter list, then to
+      // the method name: void name(...) const EUCON_REQUIRES(mu)
+      std::size_t j = i;
+      while (j > 0 &&
+             ident_in(c[j - 1], {"const", "noexcept", "override", "final"}))
+        --j;
+      if (j == 0 || !is_punct(c[j - 1], ")")) continue;
+      int depth = 0;
+      std::size_t k = j - 1;
+      for (;; --k) {
+        if (is_punct(c[k], ")")) ++depth;
+        if (is_punct(c[k], "(")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (k == 0) break;
+      }
+      if (k == 0 || c[k - 1].kind != TokenKind::kIdentifier) continue;
+      const auto& name = c[k - 1].text;
+      required_mutexes[name].insert(mutexes.begin(), mutexes.end());
+    }
+  }
+}
+
+void run_concurrency_rules(FileContext& ctx) {
+  check_locked_field_access(ctx);
+  check_detached_thread(ctx);
+  check_blocking_in_callback(ctx);
+  check_nondeterministic_parallel(ctx);
+}
+
+}  // namespace eucon::analysis

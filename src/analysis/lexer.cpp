@@ -1,0 +1,341 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace eucon::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so maximal munch is a simple
+// first-match scan.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "##", ".*",
+};
+
+// Scanner over the source with line/column bookkeeping.
+struct Cursor {
+  const std::string& src;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+
+  bool done() const { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  bool starts_with(const char* s) const {
+    return src.compare(pos, std::strlen(s), s) == 0;
+  }
+  void advance() {
+    if (src[pos] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++pos;
+  }
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && !done(); ++i) advance();
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : c_{source} {}
+
+  std::vector<Token> run() {
+    while (!c_.done()) {
+      const char ch = c_.peek();
+      if (ch == '\n') {
+        line_fresh_ = true;
+        c_.advance();
+        continue;
+      }
+      if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+        c_.advance();
+        continue;
+      }
+      if (ch == '\\' && c_.peek(1) == '\n') {  // line continuation
+        c_.advance(2);
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (ch == '#' && line_fresh_) {
+        lex_directive();
+        continue;
+      }
+      line_fresh_ = false;
+      if (ch == '"') {
+        lex_quoted('"', TokenKind::kString);
+        continue;
+      }
+      if (ch == '\'') {
+        lex_quoted('\'', TokenKind::kChar);
+        continue;
+      }
+      if (digit(ch) || (ch == '.' && digit(c_.peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (ident_start(ch)) {
+        lex_identifier_or_prefixed_literal();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  Token start_token(TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = c_.line;
+    t.col = c_.col;
+    t.depth = depth_;
+    return t;
+  }
+
+  void take(Token& t) { t.text += c_.peek(); c_.advance(); }
+
+  void lex_line_comment() {
+    Token t = start_token(TokenKind::kComment);
+    while (!c_.done() && c_.peek() != '\n') take(t);
+    out_.push_back(std::move(t));
+  }
+
+  void lex_block_comment() {
+    Token t = start_token(TokenKind::kComment);
+    take(t);  // '/'
+    take(t);  // '*'
+    while (!c_.done()) {
+      if (c_.peek() == '*' && c_.peek(1) == '/') {
+        take(t);
+        take(t);
+        break;
+      }
+      take(t);
+    }
+    out_.push_back(std::move(t));
+  }
+
+  // Emits the directive head as one normalized token ("#pragma"); the rest
+  // of the directive line is lexed as ordinary tokens, except an #include
+  // header-name, which is consumed as a single string so a path like
+  // <sys/socket.h> is never mislexed as operators and comments.
+  void lex_directive() {
+    Token t = start_token(TokenKind::kDirective);
+    t.text = "#";
+    c_.advance();  // '#'
+    while (!c_.done() && (c_.peek() == ' ' || c_.peek() == '\t')) c_.advance();
+    while (!c_.done() && ident_char(c_.peek())) take(t);
+    const bool include = t.text == "#include" || t.text == "#include_next";
+    out_.push_back(std::move(t));
+    line_fresh_ = false;
+    if (!include) return;
+    while (!c_.done() && (c_.peek() == ' ' || c_.peek() == '\t')) c_.advance();
+    if (c_.peek() == '<') {
+      Token name = start_token(TokenKind::kString);
+      while (!c_.done() && c_.peek() != '>' && c_.peek() != '\n') take(name);
+      if (c_.peek() == '>') take(name);
+      out_.push_back(std::move(name));
+    }
+    // A quoted include is picked up by the normal string path.
+  }
+
+  void lex_quoted(char quote, TokenKind kind) {
+    Token t = start_token(kind);
+    take(t);  // opening quote
+    while (!c_.done()) {
+      const char ch = c_.peek();
+      if (ch == '\\' && c_.peek(1) != '\0' && c_.peek(1) != '\n') {
+        take(t);
+        take(t);
+        continue;
+      }
+      if (ch == quote) {
+        take(t);
+        break;
+      }
+      if (ch == '\n') break;  // unterminated: close at end of line
+      take(t);
+    }
+    out_.push_back(std::move(t));
+  }
+
+  // R"delim( ... )delim" — no escape processing inside.
+  void lex_raw_string(Token t) {
+    take(t);  // opening '"'
+    std::string delim;
+    while (!c_.done() && c_.peek() != '(' && c_.peek() != '\n' &&
+           delim.size() < 16) {
+      delim += c_.peek();
+      take(t);
+    }
+    if (c_.peek() != '(') {  // malformed; treat like a plain string
+      out_.push_back(std::move(t));
+      return;
+    }
+    take(t);  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (!c_.done()) {
+      if (c_.starts_with(closer.c_str())) {
+        for (std::size_t i = 0; i < closer.size(); ++i) take(t);
+        break;
+      }
+      take(t);
+    }
+    out_.push_back(std::move(t));
+  }
+
+  void lex_number() {
+    Token t = start_token(TokenKind::kNumber);
+    take(t);
+    while (!c_.done()) {
+      const char ch = c_.peek();
+      if (ident_char(ch) || ch == '.') {
+        take(t);
+        continue;
+      }
+      // Digit separator: 1'000'000.
+      if (ch == '\'' && ident_char(c_.peek(1))) {
+        take(t);
+        take(t);
+        continue;
+      }
+      // Exponent signs: 1e-3, 0x1p+4.
+      if ((ch == '+' || ch == '-') && !t.text.empty()) {
+        const char prev = t.text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          take(t);
+          continue;
+        }
+      }
+      break;
+    }
+    out_.push_back(std::move(t));
+  }
+
+  void lex_identifier_or_prefixed_literal() {
+    Token t = start_token(TokenKind::kIdentifier);
+    while (!c_.done() && ident_char(c_.peek())) take(t);
+    const std::string& id = t.text;
+    const bool raw_prefix =
+        id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+    const bool str_prefix = id == "L" || id == "u" || id == "U" || id == "u8";
+    if (raw_prefix && c_.peek() == '"') {
+      t.kind = TokenKind::kString;
+      lex_raw_string(std::move(t));
+      return;
+    }
+    if (str_prefix && (c_.peek() == '"' || c_.peek() == '\'')) {
+      const char quote = c_.peek();
+      const TokenKind kind =
+          quote == '"' ? TokenKind::kString : TokenKind::kChar;
+      Token lit = std::move(t);
+      lit.kind = kind;
+      take(lit);  // opening quote
+      while (!c_.done()) {
+        const char ch = c_.peek();
+        if (ch == '\\' && c_.peek(1) != '\0' && c_.peek(1) != '\n') {
+          take(lit);
+          take(lit);
+          continue;
+        }
+        if (ch == quote) {
+          take(lit);
+          break;
+        }
+        if (ch == '\n') break;
+        take(lit);
+      }
+      out_.push_back(std::move(lit));
+      return;
+    }
+    out_.push_back(std::move(t));
+  }
+
+  void lex_punct() {
+    Token t = start_token(TokenKind::kPunct);
+    for (const char* p : kPuncts) {
+      if (c_.starts_with(p)) {
+        const std::size_t n = std::strlen(p);
+        for (std::size_t i = 0; i < n; ++i) take(t);
+        out_.push_back(std::move(t));
+        return;
+      }
+    }
+    const char ch = c_.peek();
+    if (ch == '{') {
+      take(t);
+      out_.push_back(std::move(t));
+      ++depth_;
+      return;
+    }
+    if (ch == '}') {
+      if (depth_ > 0) --depth_;
+      t.depth = depth_;  // a '}' reports the depth of its matching '{'
+      take(t);
+      out_.push_back(std::move(t));
+      return;
+    }
+    take(t);
+    out_.push_back(std::move(t));
+  }
+
+  Cursor c_;
+  std::vector<Token> out_;
+  int depth_ = 0;
+  bool line_fresh_ = true;  // only whitespace seen since the last newline
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+bool is_float_literal_text(const std::string& text) {
+  if (text.empty() || !(digit(text[0]) || text[0] == '.')) return false;
+  const bool hex =
+      text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  if (hex) {
+    for (char ch : text)
+      if (ch == 'p' || ch == 'P') return true;
+    return false;
+  }
+  for (char ch : text)
+    if (ch == '.' || ch == 'e' || ch == 'E') return true;
+  return false;
+}
+
+bool is_identifier(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+}  // namespace eucon::analysis

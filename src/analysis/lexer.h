@@ -1,0 +1,52 @@
+// A small C++ lexer for static-analysis rules (tools/eucon_lint).
+//
+// Produces a flat token stream with source positions and brace-nesting
+// depth. Comments and string/char literals are real tokens, never raw
+// text, so a rule that scans identifiers simply cannot fire on a keyword
+// that only appears inside a comment or a literal — the false-positive
+// class the v1 line scanner suffered from. Handled: line and block
+// comments (multi-line), escaped and raw string literals (R"delim(...)"),
+// char literals, pp-numbers with digit separators and exponents, maximal-
+// munch punctuators, and preprocessor directives (with the #include
+// header-name consumed as one literal so paths are never mislexed).
+//
+// The lexer never fails: unterminated literals and comments are closed at
+// end of input. It does not run the preprocessor — tokens inside #if 0
+// blocks and macro bodies are lexed like any other code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eucon::analysis {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords alike
+  kNumber,      // pp-number: 42, 1.5e-3, 0x1p4, 1'000'000, 2.0f
+  kString,      // "..."-style literal (any prefix, raw or not), quotes kept
+  kChar,        // '...' literal, quotes kept
+  kPunct,       // operator/punctuator, longest match
+  kComment,     // // or /* */, delimiters kept
+  kDirective,   // preprocessor directive head, normalized: "#include"
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 1;  // 1-based
+  std::size_t col = 1;   // 1-based byte offset within the line
+  int depth = 0;         // {}-nesting depth; a '}' matches its '{'s depth
+};
+
+std::vector<Token> tokenize(const std::string& source);
+
+// True for number-token text that is a floating literal: a decimal with a
+// '.' or exponent, or a hex float (binary exponent 'p').
+bool is_float_literal_text(const std::string& text);
+
+// Convenience predicates used by the rules.
+bool is_identifier(const Token& t, const char* text);
+bool is_punct(const Token& t, const char* text);
+
+}  // namespace eucon::analysis

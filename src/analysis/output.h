@@ -1,0 +1,68 @@
+// Output and suppression-file machinery for eucon_lint: text/JSON finding
+// rendering, the baseline burn-down file, and compile_commands.json file
+// listing.
+//
+// Baseline format — one entry per line, '#' comments and blanks ignored:
+//
+//   <filename>:<rule>[:<max-count>]
+//
+// `filename` is the file's basename (so the baseline is layout-independent),
+// `rule` must exist in the registry (a typo is a load error, not a silent
+// no-op), and `max-count` caps how many findings the entry may absorb —
+// omitted means unlimited. The repo gate ships an EMPTY baseline
+// (tools/lint_baseline.txt); the file exists so a future regression can be
+// ratcheted down deliberately instead of blocking unrelated work.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace eucon::analysis {
+
+struct BaselineEntry {
+  std::string filename;  // basename, matched against each finding's file
+  std::string rule;
+  long max_count = -1;  // -1: unlimited
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+// Parses baseline text. Returns false and sets `error` (with a 1-based line
+// number) on a malformed line or an unknown rule name.
+bool parse_baseline(const std::string& text, Baseline& out, std::string& error);
+
+// Loads a baseline file from disk; a missing file is an error.
+bool load_baseline(const std::filesystem::path& path, Baseline& out,
+                   std::string& error);
+
+// Splits findings into kept (returned) and absorbed (counted); entries
+// absorb findings in order until their max_count is exhausted.
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    Baseline baseline,
+                                    std::size_t& suppressed);
+
+// Serializes findings as baseline text (one "<basename>:<rule>:<count>"
+// line per file/rule pair, sorted) for --write-baseline.
+std::string render_baseline(const std::vector<Finding>& findings);
+
+// One "file:line:col: [rule] message" line per finding.
+std::string render_text(const std::vector<Finding>& findings);
+
+// The machine-readable gate format:
+//   {"version": 2, "count": N, "baseline_suppressed": M, "findings": [...]}
+std::string render_json(const std::vector<Finding>& findings,
+                        std::size_t baseline_suppressed);
+
+// Extracts the distinct "file" entries from a compile_commands.json so the
+// lint gate can target exactly what the build compiles. Minimal parser:
+// handles the format CMake emits. Returns false + error if unreadable.
+bool files_from_compile_commands(const std::filesystem::path& path,
+                                 std::vector<std::filesystem::path>& out,
+                                 std::string& error);
+
+}  // namespace eucon::analysis

@@ -1,0 +1,147 @@
+// The original eucon_lint rule set, ported from the v1 line scanner onto
+// the token stream. Comments and literals are distinct token kinds, so the
+// in-comment / in-string false-positive class is gone by construction.
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace eucon::analysis {
+
+namespace {
+
+bool ident_in(const Token& t, std::initializer_list<const char*> names) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  for (const char* n : names)
+    if (t.text == n) return true;
+  return false;
+}
+
+void check_raw_assert(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (is_identifier(c[i], "assert") && is_punct(c[i + 1], "("))
+      ctx.report(c[i].line, c[i].col, "raw-assert",
+                 "raw assert(); use EUCON_ASSERT (invariant) or "
+                 "EUCON_REQUIRE (precondition)");
+  }
+}
+
+void check_float_equality(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (!is_punct(c[i], "==") && !is_punct(c[i], "!=")) continue;
+    if (i > 0 && is_identifier(c[i - 1], "operator")) continue;
+
+    const Token* lhs = i > 0 ? &c[i - 1] : nullptr;
+    // A sign right of the operator binds to the literal: x == -1.0.
+    const Token* rhs = nullptr;
+    if (i + 1 < c.size()) {
+      rhs = &c[i + 1];
+      if ((is_punct(*rhs, "-") || is_punct(*rhs, "+")) && i + 2 < c.size())
+        rhs = &c[i + 2];
+    }
+    const Token* lit = nullptr;
+    if (lhs != nullptr && lhs->kind == TokenKind::kNumber &&
+        is_float_literal_text(lhs->text))
+      lit = lhs;
+    else if (rhs != nullptr && rhs->kind == TokenKind::kNumber &&
+             is_float_literal_text(rhs->text))
+      lit = rhs;
+    if (lit != nullptr)
+      ctx.report(c[i].line, c[i].col, "float-equality",
+                 "==/!= against floating literal '" + lit->text +
+                     "'; compare with an explicit tolerance");
+  }
+}
+
+void check_banned_random(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (ident_in(c[i], {"rand", "srand", "random_shuffle"}) &&
+        is_punct(c[i + 1], "(")) {
+      ctx.report(c[i].line, c[i].col, "banned-random",
+                 "banned '" + c[i].text +
+                     "'; all randomness must flow from common/rng.h");
+      continue;
+    }
+    if (is_identifier(c[i], "time") && is_punct(c[i + 1], "(") &&
+        i + 3 < c.size() &&
+        (is_identifier(c[i + 2], "nullptr") ||
+         is_identifier(c[i + 2], "NULL")) &&
+        is_punct(c[i + 3], ")"))
+      ctx.report(c[i].line, c[i].col, "banned-random",
+                 "wall-clock seeding defeats reproducibility; take a seed "
+                 "parameter instead");
+  }
+}
+
+void check_using_namespace(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (is_identifier(c[i], "using") && is_identifier(c[i + 1], "namespace"))
+      ctx.report(c[i].line, c[i].col, "using-namespace-header",
+                 "`using namespace` in a header pollutes every includer");
+  }
+}
+
+void check_pragma_once(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i].kind == TokenKind::kDirective && c[i].text == "#pragma" &&
+        is_identifier(c[i + 1], "once"))
+      return;
+  }
+  ctx.report(1, 1, "missing-pragma-once", "header lacks #pragma once");
+}
+
+void check_raw_throw(FileContext& ctx) {
+  for (const Token& t : ctx.code) {
+    if (is_identifier(t, "throw"))
+      ctx.report(t.line, t.col, "raw-throw",
+                 "raw throw; raise via EUCON_REQUIRE/EUCON_ASSERT/"
+                 "EUCON_FAIL so all errors share one shape");
+  }
+}
+
+void check_narrowing_cast(FileContext& ctx) {
+  const std::vector<Token>& c = ctx.code;
+  for (std::size_t i = 0; i + 4 < c.size(); ++i) {
+    if (!is_identifier(c[i], "static_cast") || !is_punct(c[i + 1], "<") ||
+        !is_identifier(c[i + 2], "int") || !is_punct(c[i + 3], ">") ||
+        !is_punct(c[i + 4], "("))
+      continue;
+    // Scan the balanced argument for size-like expressions.
+    int depth = 1;
+    bool size_like = false;
+    for (std::size_t j = i + 5; j < c.size() && depth > 0; ++j) {
+      if (is_punct(c[j], "(")) ++depth;
+      if (is_punct(c[j], ")")) --depth;
+      if (depth <= 0) break;
+      if (is_identifier(c[j], "size_t")) size_like = true;
+      if ((is_punct(c[j], ".") || is_punct(c[j], "->")) && j + 2 < c.size() &&
+          ident_in(c[j + 1], {"size", "rows", "cols", "length"}) &&
+          is_punct(c[j + 2], "("))
+        size_like = true;
+    }
+    if (size_like)
+      ctx.report(c[i].line, c[i].col, "narrowing-size-cast",
+                 "static_cast<int> of size-like expression; use "
+                 "eucon::narrow<int> (checked) instead");
+  }
+}
+
+}  // namespace
+
+void run_style_rules(FileContext& ctx) {
+  if (ctx.header) check_pragma_once(ctx);
+  if (ctx.check_header) return;
+  check_raw_assert(ctx);
+  check_float_equality(ctx);
+  check_banned_random(ctx);
+  check_raw_throw(ctx);
+  check_narrowing_cast(ctx);
+  if (ctx.header) check_using_namespace(ctx);
+}
+
+}  // namespace eucon::analysis

@@ -1,0 +1,48 @@
+// Clang thread-safety capability annotations, no-ops on other compilers.
+//
+// The macros mirror the attribute set documented in clang's Thread Safety
+// Analysis guide, spelled EUCON_* so call sites read as project vocabulary.
+// They attach compile-time lock discipline to declarations: which mutex
+// guards a field, which capability a function requires, what a scoped lock
+// acquires. Under clang the build presets add -Wthread-safety (and the
+// default -Werror), so a guarded field touched without its mutex is a
+// build break; under GCC every macro expands to nothing and the code is
+// ordinary C++.
+//
+// libstdc++'s std::mutex/std::lock_guard carry no capability annotations,
+// so the analysis cannot see through them — use eucon::Mutex and
+// eucon::MutexLock (common/mutex.h), which wrap the std types and carry
+// the attributes.
+//
+// tools/eucon_lint's locked-field-access rule reads the same annotations
+// textually, so the discipline is also checked (approximately) on GCC-only
+// setups and inside files clang never compiles (headers without a TU).
+#pragma once
+
+#if defined(__clang__)
+#define EUCON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EUCON_THREAD_ANNOTATION(x)
+#endif
+
+// Type annotations.
+#define EUCON_CAPABILITY(x) EUCON_THREAD_ANNOTATION(capability(x))
+#define EUCON_SCOPED_CAPABILITY EUCON_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member annotations.
+#define EUCON_GUARDED_BY(x) EUCON_THREAD_ANNOTATION(guarded_by(x))
+#define EUCON_PT_GUARDED_BY(x) EUCON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotations.
+#define EUCON_REQUIRES(...) \
+  EUCON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EUCON_ACQUIRE(...) \
+  EUCON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EUCON_RELEASE(...) \
+  EUCON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EUCON_TRY_ACQUIRE(...) \
+  EUCON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EUCON_EXCLUDES(...) EUCON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define EUCON_RETURN_CAPABILITY(x) EUCON_THREAD_ANNOTATION(lock_returned(x))
+#define EUCON_NO_THREAD_SAFETY_ANALYSIS \
+  EUCON_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -12,16 +12,17 @@
 // therefore not block on work that is itself still queued behind them.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace eucon {
 
@@ -47,7 +48,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ensure_accepting();
       queue_.emplace([task]() { (*task)(); });
     }
@@ -63,13 +64,13 @@ class ThreadPool {
   void worker_loop();
   // Precondition-checks that the pool is not shutting down (throws via the
   // project's check helpers; lives in the .cpp to keep this header light).
-  void ensure_accepting() const;
+  void ensure_accepting() const EUCON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::queue<std::function<void()>> queue_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::queue<std::function<void()>> queue_ EUCON_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ EUCON_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace eucon

@@ -2,7 +2,9 @@
 
 #include <future>
 
+#include "common/annotations.h"
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "control/adaptive.h"
@@ -195,21 +197,39 @@ std::vector<ExperimentResult> run_batch(const std::vector<ExperimentSpec>& specs
       configs.back().sim.seed = batch_run_seed(options.seed_base, i);
   }
 
+  const std::size_t total = configs.size();
   if (options.serial) {
-    for (std::size_t i = 0; i < configs.size(); ++i)
+    for (std::size_t i = 0; i < configs.size(); ++i) {
       results[i] = run_experiment(configs[i]);
+      if (options.on_progress) options.on_progress(i + 1, total);
+    }
     return results;
   }
+
+  // The only state shared between pooled runs: the progress counter, its
+  // mutex, and the callback. Everything else is per-run (each task touches
+  // only its own config and result slot; run_experiment builds its own
+  // simulator, controller and RNG streams from the config).
+  struct BatchProgress {
+    Mutex mu;
+    std::size_t completed EUCON_GUARDED_BY(mu) = 0;
+  } progress;
 
   ThreadPool pool(options.num_workers);
   std::vector<std::future<void>> futures;
   futures.reserve(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    // Each task touches only its own config and result slot; no state is
-    // shared between runs (run_experiment builds its own simulator,
-    // controller and RNG streams from the config).
-    futures.push_back(pool.submit(
-        [&configs, &results, i] { results[i] = run_experiment(configs[i]); }));
+    futures.push_back(
+        pool.submit([&configs, &results, &options, &progress, total, i] {
+          results[i] = run_experiment(configs[i]);
+          if (options.on_progress) {
+            // Holding mu across the callback serializes invocations and
+            // makes the (completed, total) sequence strictly increasing.
+            const MutexLock lock(progress.mu);
+            ++progress.completed;
+            options.on_progress(progress.completed, total);
+          }
+        }));
   }
   // Wait for everything, then surface the first failure (in spec order) —
   // the pool must fully drain before `configs`/`results` can go away.

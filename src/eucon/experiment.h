@@ -3,6 +3,7 @@
 // per-period trace the evaluation figures are drawn from.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -128,6 +129,14 @@ struct BatchOptions {
   // so existing single-run setups batch without behavior change.
   bool derive_seeds = false;
   std::uint64_t seed_base = 0;
+
+  // Progress hook for long sweeps: called once per completed run with
+  // (completed, total). Calls are serialized under an internal mutex, so
+  // `completed` is strictly increasing, 1..total — but they arrive on
+  // whichever worker finished the run, and the internal lock is held for
+  // the duration of the call: keep the callback cheap, and never submit
+  // more batch work from inside it.
+  std::function<void(std::size_t completed, std::size_t total)> on_progress;
 };
 
 // The seed the batch engine assigns to run `run_index` when derive_seeds is

@@ -6,6 +6,14 @@
 // measurement, TCP's effective behavior when a report misses the sampling
 // deadline), and accounting. The actuation direction's latency is modeled
 // separately by the simulator's feedback_lane_delay (rates arriving late).
+//
+// Thread contract: FeedbackLanes is thread-compatible, not thread-safe.
+// Each simulation run owns its own instance (per-run confinement — there
+// is no cross-run shared state, which is what keeps run_batch's pooled
+// runs bit-identical to serial). Do not share an instance across pool
+// workers; if a future design needs that, guard every member with an
+// eucon::Mutex and annotate the fields EUCON_GUARDED_BY (see
+// common/annotations.h and docs/quality.md).
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,10 @@
 // The transformed spec is an ordinary SystemSpec: EUCON then controls the
 // links' utilization exactly like CPU utilization (preventing congestion),
 // and link traversal time shows up in end-to-end responses.
+//
+// Thread contract: the transform is a pure function of its inputs and the
+// returned LinkedSystem is immutable afterwards — safe to share read-only
+// across run_batch pool workers, like every other per-run spec object.
 #pragma once
 
 #include <vector>

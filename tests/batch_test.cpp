@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <set>
 #include <stdexcept>
 
@@ -135,6 +136,55 @@ TEST(BatchTest, RunFailurePropagatesFirstInSpecOrder) {
   BatchOptions opts;
   opts.num_workers = 2;
   EXPECT_THROW(run_batch(specs, opts), std::invalid_argument);
+}
+
+TEST(BatchTest, ProgressCallbackCountsEveryRunExactlyOnce) {
+  const auto specs = small_grid();
+  BatchOptions opts;
+  opts.num_workers = 3;
+  // Calls are serialized under the engine's internal mutex, so appending
+  // without extra synchronization is safe and the sequence must be exactly
+  // 1..N with a constant total.
+  std::vector<std::size_t> completed;
+  std::vector<std::size_t> totals;
+  opts.on_progress = [&](std::size_t done, std::size_t total) {
+    completed.push_back(done);
+    totals.push_back(total);
+  };
+  const auto results = run_batch(specs, opts);
+  ASSERT_EQ(results.size(), specs.size());
+  ASSERT_EQ(completed.size(), specs.size());
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    EXPECT_EQ(completed[i], i + 1);
+    EXPECT_EQ(totals[i], specs.size());
+  }
+}
+
+TEST(BatchTest, ProgressCallbackFiresOnSerialPathToo) {
+  const auto specs = small_grid();
+  BatchOptions opts;
+  opts.serial = true;
+  std::vector<std::size_t> completed;
+  opts.on_progress = [&](std::size_t done, std::size_t) {
+    completed.push_back(done);
+  };
+  (void)run_batch(specs, opts);
+  ASSERT_EQ(completed.size(), specs.size());
+  for (std::size_t i = 0; i < completed.size(); ++i)
+    EXPECT_EQ(completed[i], i + 1);
+}
+
+TEST(BatchTest, ProgressCallbackDoesNotPerturbResults) {
+  const auto specs = small_grid();
+  BatchOptions plain;
+  plain.num_workers = 2;
+  BatchOptions with_progress;
+  with_progress.num_workers = 2;
+  with_progress.on_progress = [](std::size_t, std::size_t) {};
+  const auto a = run_batch(specs, plain);
+  const auto b = run_batch(specs, with_progress);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    expect_bit_identical(a[i], b[i]);
 }
 
 TEST(BatchTest, ConfigVectorOverload) {

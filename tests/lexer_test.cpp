@@ -1,0 +1,157 @@
+// Unit tests for the eucon_lint token lexer (src/analysis/lexer.h): token
+// classification, source positions, literal handling, and the properties
+// the rule engine leans on (comments/strings are never code; '}' reports
+// its matching depth).
+#include "analysis/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ea = eucon::analysis;
+
+namespace {
+
+std::vector<ea::Token> code_only(const std::string& src) {
+  std::vector<ea::Token> out;
+  for (const ea::Token& t : ea::tokenize(src))
+    if (t.kind != ea::TokenKind::kComment) out.push_back(t);
+  return out;
+}
+
+TEST(LexerTest, ClassifiesBasicTokenKinds) {
+  const auto toks = ea::tokenize("int x = 42; // done");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, ea::TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].kind, ea::TokenKind::kPunct);
+  EXPECT_EQ(toks[3].kind, ea::TokenKind::kNumber);
+  EXPECT_EQ(toks[4].text, ";");
+  EXPECT_EQ(toks[5].kind, ea::TokenKind::kComment);
+  EXPECT_EQ(toks[5].text, "// done");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  const auto toks = ea::tokenize("a\n  bb\n\tccc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].col, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].col, 3u);
+  EXPECT_EQ(toks[2].line, 3u);
+  EXPECT_EQ(toks[2].col, 2u);
+}
+
+TEST(LexerTest, CommentsSwallowCodeLikeText) {
+  const auto toks = code_only("x; // assert(1) == 0.5\n/* throw; */ y;");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[2].text, "y");
+}
+
+TEST(LexerTest, MultiLineBlockCommentKeepsStartLine) {
+  const auto toks = ea::tokenize("/* one\ntwo\nthree */ after");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, ea::TokenKind::kComment);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].text, "after");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, StringsAreSingleTokensWithEscapes) {
+  const auto toks = ea::tokenize(R"(const char* s = "a \" b // c";)");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[5].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[5].text, "\"a \\\" b // c\"");
+}
+
+TEST(LexerTest, RawStringsSpanLinesWithoutEscapes) {
+  const auto toks = ea::tokenize("auto s = R\"x(line \" one\nrand())x\"; z");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[3].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[3].text, "R\"x(line \" one\nrand())x\"");
+  EXPECT_EQ(toks[5].text, "z");
+  EXPECT_EQ(toks[5].line, 2u);
+}
+
+TEST(LexerTest, PrefixedLiteralsAreLiterals) {
+  const auto toks = ea::tokenize("auto a = u8\"hi\"; auto b = L'x';");
+  EXPECT_EQ(toks[3].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[3].text, "u8\"hi\"");
+  EXPECT_EQ(toks[8].kind, ea::TokenKind::kChar);
+  EXPECT_EQ(toks[8].text, "L'x'");
+}
+
+TEST(LexerTest, DirectivesAreNormalizedAndIncludePathsAreStrings) {
+  const auto toks = ea::tokenize("#  pragma once\n#include <sys/socket.h>\n");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, ea::TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "#pragma");
+  EXPECT_EQ(toks[1].text, "once");
+  EXPECT_EQ(toks[2].text, "#include");
+  EXPECT_EQ(toks[3].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[3].text, "<sys/socket.h>");
+}
+
+TEST(LexerTest, HashMidLineIsNotADirective) {
+  const auto toks = ea::tokenize("int a = 1; #");
+  EXPECT_EQ(toks.back().kind, ea::TokenKind::kPunct);
+}
+
+TEST(LexerTest, NumbersHandleSeparatorsAndExponents) {
+  const auto toks = ea::tokenize("1'000'000 1e-3 0x1p+4 3.14f .5");
+  ASSERT_EQ(toks.size(), 5u);
+  for (const ea::Token& t : toks) EXPECT_EQ(t.kind, ea::TokenKind::kNumber);
+  EXPECT_EQ(toks[0].text, "1'000'000");
+  EXPECT_EQ(toks[1].text, "1e-3");
+  EXPECT_EQ(toks[2].text, "0x1p+4");
+  EXPECT_EQ(toks[3].text, "3.14f");
+  EXPECT_EQ(toks[4].text, ".5");
+}
+
+TEST(LexerTest, FloatLiteralTextClassification) {
+  EXPECT_TRUE(ea::is_float_literal_text("1.0"));
+  EXPECT_TRUE(ea::is_float_literal_text("1e9"));
+  EXPECT_TRUE(ea::is_float_literal_text(".5"));
+  EXPECT_TRUE(ea::is_float_literal_text("0x1p3"));
+  EXPECT_FALSE(ea::is_float_literal_text("42"));
+  EXPECT_FALSE(ea::is_float_literal_text("0x1f"));
+  EXPECT_FALSE(ea::is_float_literal_text("100u"));
+}
+
+TEST(LexerTest, MaximalMunchPunctuators) {
+  const auto toks = ea::tokenize("a <<= b; c <=> d; e->f; x >>= 1;");
+  std::vector<std::string> puncts;
+  for (const ea::Token& t : toks)
+    if (t.kind == ea::TokenKind::kPunct && t.text.size() > 1)
+      puncts.push_back(t.text);
+  EXPECT_EQ(puncts, (std::vector<std::string>{"<<=", "<=>", "->", ">>="}));
+}
+
+TEST(LexerTest, BraceDepthMatchesNesting) {
+  const auto toks = ea::tokenize("a { b { c } d } e");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].depth, 0);  // a
+  EXPECT_EQ(toks[2].depth, 1);  // b
+  EXPECT_EQ(toks[4].depth, 2);  // c
+  EXPECT_EQ(toks[5].depth, 1);  // '}' reports its matching '{' depth
+  EXPECT_EQ(toks[8].depth, 0);  // e
+}
+
+TEST(LexerTest, LineContinuationJoinsLogicalLine) {
+  const auto toks = ea::tokenize("int a\\\n= 3;");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[2].line, 2u);
+}
+
+TEST(LexerTest, UnterminatedStringClosesAtEndOfLine) {
+  const auto toks = ea::tokenize("\"oops\nnext");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[1].text, "next");
+}
+
+}  // namespace

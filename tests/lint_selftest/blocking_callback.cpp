@@ -1,0 +1,14 @@
+// Fixture: blocking calls inside a submit() task lambda fire
+// blocking-in-callback; the same calls on the caller side must not.
+void fixture_blocking(ThreadPool& pool) {
+  auto inner = pool.submit([] { return 1; });
+  auto outer = pool.submit([&inner] {
+    inner.get();
+  });
+  outer.get();
+}
+void fixture_sleeping(ThreadPool& pool) {
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+}

@@ -1,0 +1,8 @@
+// Fixture: a raw std::thread and a detach() call fire detached-thread;
+// std::thread::hardware_concurrency (a static member) must not.
+#include <thread>
+unsigned fixture_thread_ok() { return std::thread::hardware_concurrency(); }
+void fixture_thread_bad() {
+  std::thread t([] {});
+  t.detach();
+}

@@ -1,0 +1,13 @@
+// Fixture: counter_ is EUCON_GUARDED_BY(mu_). The unlocked increment must
+// fire locked-field-access; the RAII-locked and REQUIRES-annotated bodies
+// must not.
+struct Counted {
+  void locked_bump() {
+    MutexLock lock(mu_);
+    ++counter_;
+  }
+  void unlocked_bump() { ++counter_; }
+  void annotated_bump() EUCON_REQUIRES(mu_) { ++counter_; }
+  Mutex mu_;
+  long counter_ EUCON_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,15 @@
+// Fixture: static RNG state and std::random_device fire
+// nondeterministic-parallel; a per-run seeded stream must not, and neither
+// must a static factory *declaration* returning an RNG type.
+int fixture_bad_static() {
+  static std::mt19937 gen(42);
+  return gen() & 0x7f;
+}
+int fixture_bad_device() {
+  std::random_device rd;
+  return rd() & 0x7f;
+}
+int fixture_ok_stream(eucon::Rng& rng) { return rng.next_int(); }
+struct RngFactory {
+  static Rng make(std::uint64_t seed);
+};

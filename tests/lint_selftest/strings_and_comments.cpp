@@ -4,3 +4,9 @@ const char* fixture_strings() {
   /* also not here: srand(time(nullptr)); throw; */
   return "assert(1) throw rand() time(nullptr) 0.0 == x";
 }
+// Nor from the concurrency rules: std::thread t; t.detach();
+// static std::mt19937 g; std::random_device rd; inner.get() in submit().
+const char* fixture_raw_string() {
+  return R"lint(assert(1) throw rand() x == 0.0 std::thread t; t.detach();
+static std::mt19937 g; std::random_device rd;)lint";
+}

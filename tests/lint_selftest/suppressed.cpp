@@ -1,9 +1,15 @@
 // Fixture: every violation here carries a rule-named allow() annotation,
 // so this file must produce zero findings.
 #include <stdexcept>
+#include <thread>
 
 bool fixture_suppressed(double x) {
   if (x == 1.0)                    // eucon-lint: allow(float-equality)
     throw std::range_error("x");   // eucon-lint: allow(raw-throw)
   return false;
+}
+
+void fixture_suppressed_thread() {
+  std::thread t([] {});  // eucon-lint: allow(detached-thread)
+  t.join();
 }

@@ -72,7 +72,9 @@ TEST(ThreadPoolTest, TeardownDrainsQueuedTasks) {
     ThreadPool pool(2);
     for (int i = 0; i < kTasks; ++i)
       pool.submit([&done] {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        // Deliberate stall to leave tasks queued at destruction time.
+        std::this_thread::sleep_for(  // eucon-lint: allow(blocking-in-callback)
+            std::chrono::milliseconds(1));
         done.fetch_add(1, std::memory_order_relaxed);
       });
     // Destructor must run every queued task to completion before joining.
@@ -91,7 +93,9 @@ TEST(ThreadPoolTest, VoidTasksWork) {
 TEST(ThreadPoolTest, SubmitFromMultipleThreads) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
-  std::vector<std::thread> producers;
+  // Raw threads on purpose: the test exercises concurrent *producers*, so
+  // the contention source must live outside the pool under test.
+  std::vector<std::thread> producers;  // eucon-lint: allow(detached-thread)
   producers.reserve(4);
   for (int t = 0; t < 4; ++t) {
     producers.emplace_back([&pool, &counter] {

@@ -11,13 +11,17 @@
 #                  concurrency-focused subset: thread-pool tests, batch
 #                  engine determinism tests, and the bench_perf smoke run
 #
-# plus the project linter (tools/eucon_lint) over the whole tree.
+# plus the project linter (tools/eucon_lint) over the whole tree — the
+# machine-readable JSON gate against tools/lint_baseline.txt, exactly as the
+# lint_repo ctest runs it — and, when a clang++ is on PATH, a build with
+# -Wthread-safety -Werror so the EUCON_* capability annotations
+# (common/annotations.h) are enforced, not just parsed.
 #
 # Usage:
 #   tools/check.sh             # lint + default + asan-ubsan + numeric
 #   tools/check.sh --fast      # lint + default preset only
 #   tools/check.sh --tsan      # also run the thread-sanitizer preset
-#   tools/check.sh --lint      # lint only
+#   tools/check.sh --lint      # lint gate + clang thread-safety build only
 #   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
 #
 # Each preset builds into build-<preset>/ (gitignored). Exit status is
@@ -65,10 +69,27 @@ run_lint() {
   echo "=== [lint] build eucon_lint ==="
   cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
   cmake --build "$dir" -j "$JOBS" --target eucon_lint
-  echo "=== [lint] eucon_lint over src/ tests/ tools/ bench/ examples/ ==="
-  "$dir/tools/eucon_lint" "$ROOT/src" "$ROOT/tests" "$ROOT/tools" \
-    "$ROOT/bench" "$ROOT/examples"
+  echo "=== [lint] JSON gate over src/ tests/ tools/ bench/ examples/ ==="
+  "$dir/tools/eucon_lint" --format=json \
+    --baseline "$ROOT/tools/lint_baseline.txt" \
+    "$ROOT/src" "$ROOT/tests" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples"
   echo "=== [lint] OK ==="
+}
+
+# Builds with clang so -Wthread-safety (wired in CMakeLists.txt for clang
+# compilers) verifies the EUCON_GUARDED_BY/EUCON_REQUIRES annotations for
+# real. GCC parses the macros away, so without clang this is a no-op.
+run_thread_safety() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "=== [thread-safety] SKIPPED: clang++ not found on PATH ==="
+    return 0
+  fi
+  local dir="$ROOT/build-thread-safety"
+  echo "=== [thread-safety] clang build with -Wthread-safety -Werror ==="
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [thread-safety] OK ==="
 }
 
 run_tidy() {
@@ -112,6 +133,7 @@ done
 case "$MODE" in
   lint)
     run_lint
+    run_thread_safety
     ;;
   tidy)
     run_tidy
@@ -122,6 +144,7 @@ case "$MODE" in
     ;;
   all)
     run_lint
+    run_thread_safety
     configure_build_test default
     configure_build_test asan-ubsan "-DEUCON_SANITIZE=address;undefined"
     configure_build_test numeric -DEUCON_NUMERIC_CHECKS=ON

@@ -1,23 +1,15 @@
-// eucon_lint — project-specific static checker.
+// eucon_lint — the project's static checker CLI (v2).
 //
-// Scans the source tree for banned patterns the compiler cannot or will not
-// diagnose: raw assert() instead of EUCON_ASSERT, ==/!= against floating
-// literals, std::rand/time(nullptr) seeding, using-namespace in headers,
-// headers without #pragma once, `throw` outside the check.h helpers, and
-// static_cast<int> narrowing of size-like quantities.
+// All analysis lives in src/analysis (tokenizer, rule engine, output); this
+// file only parses flags and moves bytes. See docs/quality.md for the rule
+// catalogue, the suppression syntax, and the baseline workflow.
 //
-// Findings can be suppressed per line with a rule-named annotation:
-//   double pivot = 0.0;
-//   if (pivot == 0.0) { ... }  // eucon-lint: allow(float-equality)
+//   eucon_lint [--format=text|json] [--baseline FILE] [--write-baseline]
+//              [--compile-commands FILE] [--list-rules] [--selftest DIR]
+//              PATH...
 //
-// Usage:
-//   eucon_lint [--json] [--list-rules] [--selftest DIR] PATH...
-//
-// Exit code: 0 when clean (or selftest matches), 1 when findings remain,
-// 2 on usage errors.
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
+// Exit codes: 0 no findings, 1 findings (or selftest mismatch), 2 usage /
+// I/O / baseline errors. A typo'd path is exit 2, never "0 findings".
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -25,458 +17,23 @@
 #include <string>
 #include <vector>
 
+#include "analysis/output.h"
+#include "analysis/rules.h"
+
 namespace fs = std::filesystem;
+using namespace eucon::analysis;
 
 namespace {
 
-struct RuleInfo {
-  const char* name;
-  const char* description;
-};
+constexpr const char* kUsage =
+    "usage: eucon_lint [--format=text|json] [--baseline FILE] "
+    "[--write-baseline]\n"
+    "                  [--compile-commands FILE] [--list-rules] "
+    "[--selftest DIR] PATH...\n";
 
-constexpr RuleInfo kRules[] = {
-    {"raw-assert", "use EUCON_ASSERT/EUCON_REQUIRE instead of assert()"},
-    {"float-equality", "==/!= against a floating literal; compare with a tolerance"},
-    {"banned-random", "std::rand/srand/time(nullptr); use common/rng.h streams"},
-    {"using-namespace-header", "`using namespace` in a header leaks into every includer"},
-    {"missing-pragma-once", "header lacks #pragma once"},
-    {"raw-throw", "throw outside common/check.h; use EUCON_FAIL/EUCON_REQUIRE helpers"},
-    {"narrowing-size-cast", "static_cast<int> of a size-like value; use eucon::narrow<int>"},
-};
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::size_t col = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True when text[pos..pos+len) is a whole token (identifier boundaries on
-// both sides).
-bool is_token_at(const std::string& text, std::size_t pos, std::size_t len) {
-  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
-  const std::size_t end = pos + len;
-  if (end < text.size() && is_ident_char(text[end])) return false;
-  return true;
-}
-
-bool known_rule(const std::string& name) {
-  for (const RuleInfo& r : kRules)
-    if (name == r.name) return true;
-  return false;
-}
-
-// Parses allow(...) annotations (after the eucon-lint marker) out of the
-// raw (unstripped) line. Unknown rule names are reported so typos cannot
-// silently disable nothing.
-std::set<std::string> parse_suppressions(const std::string& raw_line,
-                                         const std::string& file,
-                                         std::size_t line_no,
-                                         std::vector<Finding>& findings) {
-  std::set<std::string> allowed;
-  const std::string marker = "eucon-lint: allow(";
-  std::size_t pos = raw_line.find(marker);
-  while (pos != std::string::npos) {
-    const std::size_t open = pos + marker.size();
-    const std::size_t close = raw_line.find(')', open);
-    if (close == std::string::npos) break;
-    std::string inside = raw_line.substr(open, close - open);
-    std::istringstream ss(inside);
-    std::string name;
-    while (std::getline(ss, name, ',')) {
-      name.erase(0, name.find_first_not_of(" \t"));
-      name.erase(name.find_last_not_of(" \t") + 1);
-      if (name.empty()) continue;
-      if (known_rule(name)) {
-        allowed.insert(name);
-      } else {
-        findings.push_back({file, line_no, pos + 1, "unknown-suppression",
-                            "allow() names unknown rule '" + name + "'"});
-      }
-    }
-    pos = raw_line.find(marker, close);
-  }
-  return allowed;
-}
-
-// Replaces string/char literal bodies and comments with spaces, so rule
-// matching never fires inside them. `in_block` carries /* ... */ state
-// across lines.
-std::string strip_literals_and_comments(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (in_block) {
-      if (line.compare(i, 2, "*/") == 0) {
-        in_block = false;
-        out += "  ";
-        i += 2;
-      } else {
-        out += ' ';
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-      break;  // rest of line is a comment
-    }
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      out += "  ";
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out += quote;
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          out += "  ";
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) break;
-        out += ' ';
-        ++i;
-      }
-      if (i < line.size()) {
-        out += quote;
-        ++i;
-      }
-      continue;
-    }
-    out += c;
-    ++i;
-  }
-  return out;
-}
-
-bool is_header(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp";
-}
-
-bool looks_like_float_literal(const std::string& tok) {
-  if (tok.empty()) return false;
-  bool digit = false, dot = false, exponent = false;
-  for (std::size_t i = 0; i < tok.size(); ++i) {
-    const char c = tok[i];
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      digit = true;
-    } else if (c == '.') {
-      dot = true;
-    } else if ((c == 'e' || c == 'E') && digit) {
-      exponent = true;
-    } else if ((c == '+' || c == '-') && i > 0 &&
-               (tok[i - 1] == 'e' || tok[i - 1] == 'E')) {
-      continue;
-    } else if ((c == 'f' || c == 'F') && i + 1 == tok.size()) {
-      continue;
-    } else {
-      return false;
-    }
-  }
-  return digit && (dot || exponent);
-}
-
-// The token (maximal run of literal characters) ending just before `end`.
-std::string token_before(const std::string& code, std::size_t end) {
-  std::size_t e = end;
-  while (e > 0 && code[e - 1] == ' ') --e;
-  std::size_t b = e;
-  while (b > 0 && (is_ident_char(code[b - 1]) || code[b - 1] == '.')) --b;
-  return code.substr(b, e - b);
-}
-
-// The token starting at or after `begin`.
-std::string token_after(const std::string& code, std::size_t begin) {
-  std::size_t b = begin;
-  while (b < code.size() && code[b] == ' ') ++b;
-  std::size_t e = b;
-  while (e < code.size() &&
-         (is_ident_char(code[e]) || code[e] == '.' ||
-          ((code[e] == '+' || code[e] == '-') && e > b &&
-           (code[e - 1] == 'e' || code[e - 1] == 'E'))))
-    ++e;
-  return code.substr(b, e - b);
-}
-
-class Linter {
- public:
-  explicit Linter(std::vector<Finding>& findings) : findings_(findings) {}
-
-  void lint_file(const fs::path& path) {
-    std::ifstream in(path);
-    if (!in) {
-      findings_.push_back({path.string(), 0, 0, "io-error", "cannot open file"});
-      return;
-    }
-    const std::string file = path.string();
-    const bool header = is_header(path);
-    // common/check.h is the sanctioned home of every throw (and of the
-    // assert/throw helper machinery), so the code-pattern rules skip it.
-    const bool is_check_header =
-        path.filename() == "check.h" &&
-        path.parent_path().filename() == "common";
-
-    bool in_block = false;
-    bool saw_pragma_once = false;
-    std::string raw;
-    std::size_t line_no = 0;
-    while (std::getline(in, raw)) {
-      ++line_no;
-      const std::set<std::string> allowed =
-          parse_suppressions(raw, file, line_no, findings_);
-      const std::string code = strip_literals_and_comments(raw, in_block);
-      if (code.find("#pragma once") != std::string::npos) saw_pragma_once = true;
-      if (is_check_header) continue;
-
-      check_raw_assert(file, line_no, code, allowed);
-      check_float_equality(file, line_no, code, allowed);
-      check_banned_random(file, line_no, code, allowed);
-      check_raw_throw(file, line_no, code, allowed);
-      check_narrowing_cast(file, line_no, code, allowed);
-      if (header) check_using_namespace(file, line_no, code, allowed);
-    }
-    if (header && !saw_pragma_once)
-      report(file, 1, 1, "missing-pragma-once", "header lacks #pragma once");
-  }
-
- private:
-  void report(const std::string& file, std::size_t line, std::size_t col,
-              const std::string& rule, const std::string& message) {
-    findings_.push_back({file, line, col, rule, message});
-  }
-
-  void maybe_report(const std::string& file, std::size_t line, std::size_t col,
-                    const char* rule, const std::string& message,
-                    const std::set<std::string>& allowed) {
-    if (allowed.count(rule)) return;
-    report(file, line, col, rule, message);
-  }
-
-  void check_raw_assert(const std::string& file, std::size_t line,
-                        const std::string& code,
-                        const std::set<std::string>& allowed) {
-    std::size_t pos = code.find("assert");
-    while (pos != std::string::npos) {
-      if (is_token_at(code, pos, 6)) {
-        std::size_t after = pos + 6;
-        while (after < code.size() && code[after] == ' ') ++after;
-        if (after < code.size() && code[after] == '(')
-          maybe_report(file, line, pos + 1, "raw-assert",
-                       "raw assert(); use EUCON_ASSERT (invariant) or "
-                       "EUCON_REQUIRE (precondition)",
-                       allowed);
-      }
-      pos = code.find("assert", pos + 1);
-    }
-  }
-
-  void check_float_equality(const std::string& file, std::size_t line,
-                            const std::string& code,
-                            const std::set<std::string>& allowed) {
-    for (std::size_t pos = 0; pos + 1 < code.size(); ++pos) {
-      if (code[pos + 1] != '=' || (code[pos] != '=' && code[pos] != '!')) continue;
-      // Not ==/!= when part of <=, >=, ===-like runs or operator definitions.
-      if (pos > 0 && (code[pos - 1] == '<' || code[pos - 1] == '>' ||
-                      code[pos - 1] == '=' || code[pos - 1] == '!'))
-        continue;
-      if (pos + 2 < code.size() && code[pos + 2] == '=') continue;
-      const std::size_t op_begin = pos >= 8 ? pos - 8 : 0;
-      if (code.find("operator", op_begin) == pos - 8 && pos >= 8) {
-        pos += 1;
-        continue;
-      }
-      const std::string lhs = token_before(code, pos);
-      const std::string rhs = token_after(code, pos + 2);
-      if (looks_like_float_literal(lhs) || looks_like_float_literal(rhs))
-        maybe_report(file, line, pos + 1, "float-equality",
-                     "==/!= against floating literal '" +
-                         (looks_like_float_literal(lhs) ? lhs : rhs) +
-                         "'; compare with an explicit tolerance",
-                     allowed);
-      pos += 1;
-    }
-  }
-
-  void check_banned_random(const std::string& file, std::size_t line,
-                           const std::string& code,
-                           const std::set<std::string>& allowed) {
-    struct Banned {
-      const char* token;
-      bool needs_call;
-    };
-    static constexpr Banned kBanned[] = {
-        {"rand", true}, {"srand", true}, {"random_shuffle", true}};
-    for (const Banned& b : kBanned) {
-      const std::string tok = b.token;
-      std::size_t pos = code.find(tok);
-      while (pos != std::string::npos) {
-        if (is_token_at(code, pos, tok.size())) {
-          std::size_t after = pos + tok.size();
-          while (after < code.size() && code[after] == ' ') ++after;
-          if (!b.needs_call || (after < code.size() && code[after] == '('))
-            maybe_report(file, line, pos + 1, "banned-random",
-                         "banned '" + tok +
-                             "'; all randomness must flow from common/rng.h",
-                         allowed);
-        }
-        pos = code.find(tok, pos + 1);
-      }
-    }
-    // time(nullptr)/time(NULL) seeding.
-    std::size_t pos = code.find("time");
-    while (pos != std::string::npos) {
-      if (is_token_at(code, pos, 4)) {
-        std::size_t after = pos + 4;
-        while (after < code.size() && code[after] == ' ') ++after;
-        if (code.compare(after, 9, "(nullptr)") == 0 ||
-            code.compare(after, 6, "(NULL)") == 0)
-          maybe_report(file, line, pos + 1, "banned-random",
-                       "wall-clock seeding defeats reproducibility; take a "
-                       "seed parameter instead",
-                       allowed);
-      }
-      pos = code.find("time", pos + 1);
-    }
-  }
-
-  void check_using_namespace(const std::string& file, std::size_t line,
-                             const std::string& code,
-                             const std::set<std::string>& allowed) {
-    const std::size_t pos = code.find("using namespace");
-    if (pos != std::string::npos && is_token_at(code, pos, 5))
-      maybe_report(file, line, pos + 1, "using-namespace-header",
-                   "`using namespace` in a header pollutes every includer",
-                   allowed);
-  }
-
-  void check_raw_throw(const std::string& file, std::size_t line,
-                       const std::string& code,
-                       const std::set<std::string>& allowed) {
-    std::size_t pos = code.find("throw");
-    while (pos != std::string::npos) {
-      if (is_token_at(code, pos, 5))
-        maybe_report(file, line, pos + 1, "raw-throw",
-                     "raw throw; raise via EUCON_REQUIRE/EUCON_ASSERT/"
-                     "EUCON_FAIL so all errors share one shape",
-                     allowed);
-      pos = code.find("throw", pos + 1);
-    }
-  }
-
-  void check_narrowing_cast(const std::string& file, std::size_t line,
-                            const std::string& code,
-                            const std::set<std::string>& allowed) {
-    const std::string pat = "static_cast<int>(";
-    std::size_t pos = code.find(pat);
-    while (pos != std::string::npos) {
-      // Balanced-paren argument extraction.
-      std::size_t depth = 1;
-      std::size_t i = pos + pat.size();
-      const std::size_t arg_begin = i;
-      while (i < code.size() && depth > 0) {
-        if (code[i] == '(') ++depth;
-        if (code[i] == ')') --depth;
-        ++i;
-      }
-      const std::string arg = code.substr(arg_begin, i - arg_begin);
-      for (const char* size_like :
-           {".size()", ".rows()", ".cols()", ".length()", "size_t"}) {
-        if (arg.find(size_like) != std::string::npos) {
-          maybe_report(file, line, pos + 1, "narrowing-size-cast",
-                       "static_cast<int> of size-like expression; use "
-                       "eucon::narrow<int> (checked) instead",
-                       allowed);
-          break;
-        }
-      }
-      pos = code.find(pat, pos + 1);
-    }
-  }
-
-  std::vector<Finding>& findings_;
-};
-
-bool should_skip_dir(const fs::path& dir) {
-  const std::string name = dir.filename().string();
-  return name == ".git" || name.rfind("build", 0) == 0 ||
-         name == "lint_selftest";
-}
-
-bool lintable_file(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
-}
-
-void collect_files(const fs::path& root, std::vector<fs::path>& out) {
-  if (fs::is_regular_file(root)) {
-    if (lintable_file(root)) out.push_back(root);
-    return;
-  }
-  if (!fs::is_directory(root)) return;
-  std::vector<fs::path> entries;
-  for (const auto& entry : fs::directory_iterator(root)) entries.push_back(entry.path());
-  std::sort(entries.begin(), entries.end());
-  for (const fs::path& p : entries) {
-    if (fs::is_directory(p)) {
-      if (!should_skip_dir(p)) collect_files(p, out);
-    } else if (lintable_file(p)) {
-      out.push_back(p);
-    }
-  }
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
-void print_text(const std::vector<Finding>& findings) {
-  for (const Finding& f : findings)
-    std::cout << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule
-              << "] " << f.message << '\n';
-  std::cout << findings.size() << " finding(s)\n";
-}
-
-void print_json(const std::vector<Finding>& findings) {
-  std::cout << "{\"count\": " << findings.size() << ", \"findings\": [";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    if (i) std::cout << ',';
-    std::cout << "\n  {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
-              << f.line << ", \"col\": " << f.col << ", \"rule\": \"" << f.rule
-              << "\", \"message\": \"" << json_escape(f.message) << "\"}";
-  }
-  std::cout << (findings.empty() ? "]}\n" : "\n]}\n");
-}
-
-std::vector<Finding> run_lint(const std::vector<fs::path>& roots) {
-  std::vector<fs::path> files;
-  for (const fs::path& r : roots) collect_files(r, files);
-  std::vector<Finding> findings;
-  Linter linter(findings);
-  for (const fs::path& f : files) linter.lint_file(f);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.col < b.col;
-            });
-  return findings;
+void print_rules() {
+  for (const RuleInfo& r : rule_registry())
+    std::cout << r.name << " — " << r.description << '\n';
 }
 
 // Self-test mode: lints DIR and compares the findings against
@@ -528,20 +85,42 @@ int run_selftest(const fs::path& dir) {
   return 1;
 }
 
-void print_rules() {
-  for (const RuleInfo& r : kRules)
-    std::cout << r.name << " — " << r.description << '\n';
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool write_baseline = false;
+  std::string baseline_path;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--json" || arg == "--format=json") {
       json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::cerr << "unknown format: " << arg.substr(9) << '\n';
+      return 2;
+    } else if (arg == "--baseline") {
+      if (++i >= argc) {
+        std::cerr << "--baseline requires a file argument\n";
+        return 2;
+      }
+      baseline_path = argv[i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--compile-commands") {
+      if (++i >= argc) {
+        std::cerr << "--compile-commands requires a file argument\n";
+        return 2;
+      }
+      std::vector<fs::path> files;
+      std::string error;
+      if (!files_from_compile_commands(argv[i], files, error)) {
+        std::cerr << error << '\n';
+        return 2;
+      }
+      roots.insert(roots.end(), files.begin(), files.end());
     } else if (arg == "--list-rules") {
       print_rules();
       return 0;
@@ -552,8 +131,7 @@ int main(int argc, char** argv) {
       }
       return run_selftest(argv[i + 1]);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: eucon_lint [--json] [--list-rules] "
-                   "[--selftest DIR] PATH...\n";
+      std::cout << kUsage;
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << '\n';
@@ -563,8 +141,7 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty()) {
-    std::cerr << "usage: eucon_lint [--json] [--list-rules] [--selftest DIR] "
-                 "PATH...\n";
+    std::cerr << kUsage;
     return 2;
   }
   for (const fs::path& r : roots) {
@@ -575,10 +152,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<Finding> findings = run_lint(roots);
-  if (json)
-    print_json(findings);
-  else
-    print_text(findings);
+  std::vector<Finding> findings = run_lint(roots);
+
+  if (write_baseline) {
+    std::cout << render_baseline(findings);
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    Baseline baseline;
+    std::string error;
+    if (!load_baseline(baseline_path, baseline, error)) {
+      std::cerr << error << '\n';
+      return 2;
+    }
+    findings = apply_baseline(findings, std::move(baseline), suppressed);
+  }
+
+  if (json) {
+    std::cout << render_json(findings, suppressed);
+  } else {
+    std::cout << render_text(findings);
+    std::cout << findings.size() << " finding(s)";
+    if (suppressed > 0) std::cout << ", " << suppressed << " baselined";
+    std::cout << '\n';
+  }
   return findings.empty() ? 0 : 1;
 }
