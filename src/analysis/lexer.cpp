@@ -146,7 +146,9 @@ class Lexer {
   // <sys/socket.h> is never mislexed as operators and comments.
   void lex_directive() {
     Token t = start_token(TokenKind::kDirective);
-    t.text = "#";
+    // Single-char assignment: GCC 12's -Wrestrict false-fires on the
+    // operator=(const char*) memcpy path under ASan's inlining.
+    t.text = '#';
     c_.advance();  // '#'
     while (!c_.done() && (c_.peek() == ' ' || c_.peek() == '\t')) c_.advance();
     while (!c_.done() && ident_char(c_.peek())) take(t);

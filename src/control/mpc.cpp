@@ -231,6 +231,7 @@ Vector MpcController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == active_model_.num_processors(),
                 "utilization vector size mismatch");
   EUCON_CHECK_FINITE_VEC("MpcController::update input u", u);
+  OBS_TIMED(metrics_, "mpc.update");
   ++update_count_;
   const std::size_t m = active_model_.num_tasks();
   const std::size_t cols = m * static_cast<std::size_t>(params_.control_horizon);
@@ -277,9 +278,20 @@ Vector MpcController::update(const Vector& u) {
   fill_constraint_rhs(u, util_rows, b_scratch_);
   const Matrix& a = util_rows ? a_full_ : a_rates_;
   qp::WarmStart& warm = util_rows ? warm_full_ : warm_rates_;
-  const qp::LsqlinResult res =
-      solver_.solve(d_, a, b_scratch_, x0, params_.solver, &warm);
+  qp::LsqlinResult res;
+  {
+    OBS_TIMED(metrics_, "qp.solve");
+    res = solver_.solve(d_, a, b_scratch_, x0, params_.solver, &warm);
+  }
   last_status_ = res.status;
+  last_iterations_ = res.iterations;
+  last_fast_path_ = res.fast_path;
+  last_used_fallback_ = want_util_rows && !util_rows;
+  last_used_util_rows_ = util_rows;
+  qp_iterations_total_ += res.iterations < 0
+                              ? 0u
+                              : static_cast<std::uint64_t>(res.iterations);
+  if (res.fast_path) ++fast_path_hits_;
 
   // Receding horizon: apply only Δr(k|k). Suspended tasks stay frozen.
   Vector dr(m);

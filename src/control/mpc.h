@@ -19,6 +19,7 @@
 
 #include "control/controller.h"
 #include "control/model.h"
+#include "obs/registry.h"
 #include "qp/lsqlin.h"
 
 namespace eucon::control {
@@ -111,6 +112,24 @@ class MpcController final : public Controller {
   std::uint64_t fallback_count() const { return fallback_count_; }
   std::uint64_t update_count() const { return update_count_; }
 
+  // Per-period solver observability (the trace layer reads these right
+  // after update()): active-set iterations of the last solve, whether the
+  // cached-QR fast path short-circuited it, whether the utilization rows
+  // were dropped (infeasible instance), and the final working set.
+  int last_iterations() const { return last_iterations_; }
+  bool last_fast_path() const { return last_fast_path_; }
+  bool last_used_fallback() const { return last_used_fallback_; }
+  const std::vector<std::size_t>& last_working_set() const {
+    return last_used_util_rows_ ? warm_full_.working : warm_rates_.working;
+  }
+  std::uint64_t qp_iterations_total() const { return qp_iterations_total_; }
+  std::uint64_t fast_path_hits() const { return fast_path_hits_; }
+
+  // Attaches a metrics registry (null detaches): update() then records the
+  // `mpc.update` / `qp.solve` scoped timers and nothing else changes. The
+  // registry must outlive the controller or the next set call.
+  void set_metrics_registry(obs::Registry* registry) { metrics_ = registry; }
+
  private:
   // Rebuilds the constraint-matrix templates (they depend only on the
   // active model, not on u or the current rates): `a_full_` carries the
@@ -139,6 +158,13 @@ class MpcController final : public Controller {
   qp::Status last_status_ = qp::Status::kOptimal;
   std::uint64_t fallback_count_ = 0;
   std::uint64_t update_count_ = 0;
+  int last_iterations_ = 0;
+  bool last_fast_path_ = false;
+  bool last_used_fallback_ = false;
+  bool last_used_util_rows_ = true;
+  std::uint64_t qp_iterations_total_ = 0;
+  std::uint64_t fast_path_hits_ = 0;
+  obs::Registry* metrics_ = nullptr;  // non-owning; null = no metrics
 
   // Per-period scratch (sized in rebuild_constraint_templates) and the
   // receding-horizon warm starts, one per constraint template so working-set

@@ -1,5 +1,7 @@
 #include "eucon/experiment.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <future>
 
 #include "common/annotations.h"
@@ -56,6 +58,22 @@ std::unique_ptr<control::Controller> make_controller(
   }
   EUCON_FAIL_INVALID("unknown controller kind");
 }
+
+namespace {
+
+const char* qp_status_name(qp::Status status) {
+  switch (status) {
+    case qp::Status::kOptimal:
+      return "optimal";
+    case qp::Status::kInfeasible:
+      return "infeasible";
+    case qp::Status::kMaxIterations:
+      return "max_iterations";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::vector<double> ExperimentResult::utilization_series(
     std::size_t processor) const {
@@ -122,8 +140,38 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::vector<bool> enabled(config.spec.num_tasks(), true);
 
+  // Observability taps (docs/observability.md). `metrics` and `sink` are
+  // per-run views onto caller-owned objects; when EUCON_OBS is compiled out
+  // the whole trace-assembly path below folds away and OBS_TIMED is a no-op.
+  auto* mpc_diag = dynamic_cast<control::MpcController*>(controller.get());
+  obs::Registry* const metrics = config.metrics;
+  if (mpc_diag != nullptr) mpc_diag->set_metrics_registry(metrics);
+  obs::Sink* sink = nullptr;
+  std::vector<double> prev_rates;     // for Δr in the trace
+  std::uint64_t prev_stalls = 0;      // for per-period stall deltas
+  if constexpr (obs::kEnabled) {
+    sink = config.trace_sink;
+    if (sink != nullptr) {
+      obs::RunInfo info;
+      info.name = config.run_name;
+      info.controller = controller_kind_name(config.controller);
+      info.seed = config.sim.seed;
+      info.num_periods = config.num_periods;
+      info.num_processors =
+          static_cast<std::size_t>(config.spec.num_processors);
+      info.num_tasks = config.spec.num_tasks();
+      info.set_points = model.b.data();
+      sink->begin_run(info);
+      prev_rates = sim.current_rates();
+    }
+  }
+
   for (int k = 1; k <= config.num_periods; ++k) {
-    sim.run_until(static_cast<Ticks>(k) * ts);
+    OBS_TIMED(metrics, "experiment.period");
+    {
+      OBS_TIMED(metrics, "sim.advance");
+      sim.run_until(static_cast<Ticks>(k) * ts);
+    }
     const std::vector<double> u = sim.sample_utilizations();
 
     // Deliver the reports over the (possibly lossy) feedback lanes.
@@ -161,18 +209,107 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     rec.enabled_tasks = static_cast<int>(
         std::count(enabled.begin(), enabled.end(), true));
     result.trace.push_back(std::move(rec));
+
+    if constexpr (obs::kEnabled) {
+      if (sink != nullptr) {
+        obs::PeriodRecord prec;
+        prec.k = k;
+        prec.time_units = sim.now_units();
+        prec.u = u;
+        prec.u_seen = u_seen.data();
+        prec.rates = rates.data();
+        prec.delta_r.resize(prec.rates.size());
+        for (std::size_t j = 0; j < prec.rates.size(); ++j)
+          prec.delta_r[j] = prec.rates[j] - prev_rates[j];
+        prev_rates = prec.rates;
+        prec.enabled_tasks = result.trace.back().enabled_tasks;
+        prec.lost_reports = lanes.last_period_losses();
+        const std::uint64_t stalls = sim.release_guard_stalls();
+        prec.release_guard_stalls = stalls - prev_stalls;
+        prev_stalls = stalls;
+        if (mpc_diag != nullptr) {
+          prec.qp_iterations = mpc_diag->last_iterations();
+          prec.qp_fast_path = mpc_diag->last_fast_path();
+          prec.qp_fallback = mpc_diag->last_used_fallback();
+          prec.qp_status = qp_status_name(mpc_diag->last_status());
+          prec.qp_active_set = mpc_diag->last_working_set();
+        }
+        sink->period(prec);
+      }
+    }
   }
 
   result.lost_reports = lanes.lost_reports();
   result.deadlines = sim.deadline_stats();
   if (config.sim.enable_trace) result.trace_log = sim.trace();
-  if (auto* mpc = dynamic_cast<control::MpcController*>(controller.get()))
-    result.controller_fallbacks = mpc->fallback_count();
+  if (mpc_diag != nullptr)
+    result.controller_fallbacks = mpc_diag->fallback_count();
   if (governor != nullptr) {
     result.admission_suspensions = governor->suspensions();
     result.admission_readmissions = governor->readmissions();
   }
+
+  if constexpr (obs::kEnabled) {
+    if (sink != nullptr) {
+      obs::RunSummary summary;
+      summary.periods = static_cast<std::uint64_t>(config.num_periods);
+      summary.lost_reports = lanes.lost_reports();
+      summary.controller_fallbacks = result.controller_fallbacks;
+      summary.release_guard_stalls = sim.release_guard_stalls();
+      summary.jobs_released = sim.jobs_released();
+      if (mpc_diag != nullptr) {
+        summary.qp_iterations_total = mpc_diag->qp_iterations_total();
+        summary.qp_fast_path_hits = mpc_diag->fast_path_hits();
+      }
+      sink->end_run(summary);
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (metrics != nullptr) {
+      metrics->add("experiment.runs");
+      metrics->add("experiment.periods",
+                   static_cast<std::uint64_t>(config.num_periods));
+      metrics->add("experiment.lost_reports", lanes.lost_reports());
+      metrics->add("sim.release_guard_stalls", sim.release_guard_stalls());
+      metrics->add("sim.jobs_released", sim.jobs_released());
+      std::uint64_t e2e_misses = 0;
+      const rts::DeadlineStats& ds = sim.deadline_stats();
+      for (std::size_t t = 0; t < ds.num_tasks(); ++t)
+        e2e_misses += ds.task(t).e2e_misses;
+      metrics->add("sim.e2e_deadline_misses", e2e_misses);
+      if (mpc_diag != nullptr) {
+        metrics->add("mpc.updates", mpc_diag->update_count());
+        metrics->add("mpc.fallbacks", mpc_diag->fallback_count());
+        metrics->add("mpc.qp_iterations", mpc_diag->qp_iterations_total());
+        metrics->add("mpc.fast_path_hits", mpc_diag->fast_path_hits());
+      }
+      if (governor != nullptr) {
+        metrics->add("admission.suspensions", governor->suspensions());
+        metrics->add("admission.readmissions", governor->readmissions());
+      }
+      metrics->add("reallocation.moves", result.reallocations.size());
+    }
+  }
   return result;
+}
+
+std::string batch_trace_file_name(std::size_t run_index,
+                                  const std::string& name) {
+  char prefix[24];
+  std::snprintf(prefix, sizeof(prefix), "run-%04zu", run_index);
+  std::string file(prefix);
+  if (!name.empty()) {
+    file += '-';
+    // Keep file names portable: anything outside [A-Za-z0-9._-] becomes '_'.
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      file += ok ? c : '_';
+    }
+  }
+  file += ".jsonl";
+  return file;
 }
 
 std::uint64_t batch_run_seed(std::uint64_t seed_base, std::size_t run_index) {
@@ -195,6 +332,29 @@ std::vector<ExperimentResult> run_batch(const std::vector<ExperimentSpec>& specs
     configs.push_back(specs[i].config);
     if (options.derive_seeds)
       configs.back().sim.seed = batch_run_seed(options.seed_base, i);
+    if (configs.back().run_name.empty())
+      configs.back().run_name = specs[i].name;
+    if (configs.back().metrics == nullptr)
+      configs.back().metrics = options.metrics;
+  }
+
+  // Per-run trace files. Sinks are created up front (before any run starts)
+  // so file assignment — and therefore every byte of every trace — depends
+  // only on (run index, spec name), never on worker scheduling.
+  std::vector<std::unique_ptr<obs::FileSink>> trace_sinks;
+  if constexpr (obs::kEnabled) {
+    if (!options.trace_dir.empty()) {
+      std::filesystem::create_directories(options.trace_dir);
+      trace_sinks.resize(configs.size());
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].trace_sink != nullptr) continue;  // caller's sink wins
+        const std::filesystem::path path =
+            std::filesystem::path(options.trace_dir) /
+            batch_trace_file_name(i, specs[i].name);
+        trace_sinks[i] = std::make_unique<obs::FileSink>(path.string());
+        configs[i].trace_sink = trace_sinks[i].get();
+      }
+    }
   }
 
   const std::size_t total = configs.size();

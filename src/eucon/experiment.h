@@ -16,6 +16,8 @@
 #include "control/mpc.h"
 #include "control/pid.h"
 #include "linalg/vector.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "rts/deadline_stats.h"
 #include "rts/simulator.h"
 #include "rts/spec.h"
@@ -73,6 +75,19 @@ struct ExperimentConfig {
   // Optional per-period hook, called after the controller update of period
   // k (1-based); can mutate the controller (e.g. change set points online).
   std::function<void(int k, control::Controller&)> on_period;
+
+  // ---- Observability (docs/observability.md) ----
+  // Label recorded in the trace header (run_batch fills it from the spec
+  // name; the CLI from the workload/spec-file name).
+  std::string run_name;
+  // Structured per-period trace sink. Non-owning: the sink must outlive
+  // the run, and must not be shared between concurrent runs (per-run
+  // confinement, like FeedbackLanes). Null = tracing off; the disabled
+  // path allocates nothing.
+  obs::Sink* trace_sink = nullptr;
+  // Counter/timer registry. Non-owning; a Registry is thread-safe, so one
+  // instance may be shared by every run of a batch. Null = metrics off.
+  obs::Registry* metrics = nullptr;
 };
 
 struct SampleRecord {
@@ -137,7 +152,23 @@ struct BatchOptions {
   // the duration of the call: keep the callback cheap, and never submit
   // more batch work from inside it.
   std::function<void(std::size_t completed, std::size_t total)> on_progress;
+
+  // ---- Observability pass-through (docs/observability.md) ----
+  // Shared counter/timer registry applied to every run whose config does
+  // not already carry one. Thread-safe; totals accumulate across the whole
+  // batch regardless of worker count.
+  obs::Registry* metrics = nullptr;
+  // When non-empty, every run without its own trace_sink writes a JSONL
+  // trace to `<trace_dir>/run-NNNN[-name].jsonl` (the directory is
+  // created). File assignment depends only on the run index and spec name,
+  // so serial and pooled executions produce byte-identical files.
+  std::string trace_dir;
 };
+
+// The trace file name run_batch assigns to run `run_index` (exposed so the
+// determinism tests and sweep tooling can locate per-run traces).
+std::string batch_trace_file_name(std::size_t run_index,
+                                  const std::string& name);
 
 // The seed the batch engine assigns to run `run_index` when derive_seeds is
 // set (exposed so tests and benches can predict it).

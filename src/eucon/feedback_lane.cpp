@@ -17,10 +17,12 @@ FeedbackLanes::FeedbackLanes(std::size_t num_processors,
 linalg::Vector FeedbackLanes::deliver(const linalg::Vector& measured) {
   EUCON_REQUIRE(measured.size() == last_.size(), "measurement size mismatch");
   linalg::Vector seen = measured;
+  last_period_losses_ = 0;
   for (std::size_t p = 0; p < seen.size(); ++p) {
     if (loss_probability_ > 0.0 && rng_.next_double() < loss_probability_) {
       seen[p] = last_[p];
       ++lost_;
+      ++last_period_losses_;
     } else {
       ++delivered_;
     }

@@ -37,6 +37,9 @@ class FeedbackLanes {
 
   std::uint64_t lost_reports() const { return lost_; }
   std::uint64_t delivered_reports() const { return delivered_; }
+  // Lanes that dropped their report in the most recent deliver() call (the
+  // tracer records this per period; 0 before the first delivery).
+  std::uint64_t last_period_losses() const { return last_period_losses_; }
   const linalg::Vector& last_delivered() const { return last_; }
 
  private:
@@ -45,6 +48,7 @@ class FeedbackLanes {
   linalg::Vector last_;
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t last_period_losses_ = 0;
 };
 
 }  // namespace eucon

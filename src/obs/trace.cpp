@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace eucon::obs {
+
+namespace {
+
+// JSON string escaping for the few names that can carry user text (run
+// labels, spec-file names). The schema never emits control characters
+// itself.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Doubles use the shortest round-trip form (shared with the CSV layer) so
+// trace bytes are a pure function of the simulated values.
+void append_double(std::string& out, double v) {
+  out += CsvWriter::format_double(v);
+}
+
+void append_double_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    append_double(out, values[i]);
+  }
+  out += ']';
+}
+
+void append_index_array(std::string& out,
+                        const std::vector<std::size_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string to_jsonl(const RunInfo& info) {
+  std::string line = "{\"type\":\"run\",\"name\":";
+  append_json_string(line, info.name);
+  line += ",\"controller\":";
+  append_json_string(line, info.controller);
+  line += ",\"seed\":" + std::to_string(info.seed);
+  line += ",\"periods\":" + std::to_string(info.num_periods);
+  line += ",\"processors\":" + std::to_string(info.num_processors);
+  line += ",\"tasks\":" + std::to_string(info.num_tasks);
+  line += ",\"set_points\":";
+  append_double_array(line, info.set_points);
+  line += '}';
+  return line;
+}
+
+std::string to_jsonl(const PeriodRecord& rec) {
+  std::string line = "{\"type\":\"period\",\"k\":" + std::to_string(rec.k);
+  line += ",\"t\":";
+  append_double(line, rec.time_units);
+  line += ",\"u\":";
+  append_double_array(line, rec.u);
+  line += ",\"u_seen\":";
+  append_double_array(line, rec.u_seen);
+  line += ",\"r\":";
+  append_double_array(line, rec.rates);
+  line += ",\"dr\":";
+  append_double_array(line, rec.delta_r);
+  line += ",\"enabled\":" + std::to_string(rec.enabled_tasks);
+  line += ",\"lost\":" + std::to_string(rec.lost_reports);
+  line += ",\"stalls\":" + std::to_string(rec.release_guard_stalls);
+  if (rec.qp_iterations >= 0) {
+    line += ",\"qp\":{\"iters\":" + std::to_string(rec.qp_iterations);
+    line += ",\"fast_path\":";
+    line += rec.qp_fast_path ? "true" : "false";
+    line += ",\"fallback\":";
+    line += rec.qp_fallback ? "true" : "false";
+    line += ",\"status\":";
+    append_json_string(line, rec.qp_status);
+    line += ",\"active\":";
+    append_index_array(line, rec.qp_active_set);
+    line += '}';
+  }
+  line += '}';
+  return line;
+}
+
+std::string to_jsonl(const RunSummary& summary) {
+  std::string line =
+      "{\"type\":\"summary\",\"periods\":" + std::to_string(summary.periods);
+  line += ",\"lost\":" + std::to_string(summary.lost_reports);
+  line += ",\"fallbacks\":" + std::to_string(summary.controller_fallbacks);
+  line += ",\"qp_iters\":" + std::to_string(summary.qp_iterations_total);
+  line += ",\"fast_path_hits\":" + std::to_string(summary.qp_fast_path_hits);
+  line += ",\"stalls\":" + std::to_string(summary.release_guard_stalls);
+  line += ",\"jobs_released\":" + std::to_string(summary.jobs_released);
+  line += '}';
+  return line;
+}
+
+Sink::~Sink() = default;
+
+void MemorySink::begin_run(const RunInfo& info) { info_ = info; }
+
+void MemorySink::period(const PeriodRecord& rec) { records_.push_back(rec); }
+
+void MemorySink::end_run(const RunSummary& summary) {
+  summary_ = summary;
+  finished_ = true;
+}
+
+void JsonlSink::begin_run(const RunInfo& info) {
+  *out_ << to_jsonl(info) << '\n';
+}
+
+void JsonlSink::period(const PeriodRecord& rec) {
+  *out_ << to_jsonl(rec) << '\n';
+}
+
+void JsonlSink::end_run(const RunSummary& summary) {
+  *out_ << to_jsonl(summary) << '\n';
+  out_->flush();
+}
+
+FileSink::FileSink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc), jsonl_(out_) {
+  if (!out_.good()) EUCON_FAIL("cannot open trace file: " + path);
+}
+
+void FileSink::begin_run(const RunInfo& info) { jsonl_.begin_run(info); }
+
+void FileSink::period(const PeriodRecord& rec) { jsonl_.period(rec); }
+
+void FileSink::end_run(const RunSummary& summary) {
+  jsonl_.end_run(summary);
+  if (!out_.good()) EUCON_FAIL("failed writing trace file: " + path_);
+}
+
+}  // namespace eucon::obs

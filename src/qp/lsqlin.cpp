@@ -92,6 +92,7 @@ LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
       out.x = std::move(x_u);
       out.status = Status::kOptimal;
       out.iterations = 0;
+      out.fast_path = true;
       multiply_into(c_, out.x, resid_);
       resid_ -= d;
       out.residual_norm = resid_.norm2();

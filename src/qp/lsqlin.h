@@ -26,6 +26,9 @@ struct LsqlinResult {
   Status status = Status::kMaxIterations;
   int iterations = 0;
   double residual_norm = 0.0;  // ||C x - d||_2 at the solution
+  // True when LsqlinSolver accepted the cached-QR unconstrained minimizer
+  // without running the active-set QP (always false for one-shot lsqlin()).
+  bool fast_path = false;
 };
 
 // Solves the problem. `x0`, when given, must satisfy all constraints and is

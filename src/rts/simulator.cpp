@@ -251,6 +251,7 @@ void Simulator::on_completion(const Event& e) {
         last_release_[flat] == kNeverTicks
             ? now_
             : std::max(now_, last_release_[flat] + period_ticks(job->task));
+    if (guarded > now_) ++release_guard_stalls_;
     last_release_[flat] = guarded;
     pending_[flat].push_back({job->instance, job->instance_release, job->abs_deadline});
 

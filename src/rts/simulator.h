@@ -117,6 +117,12 @@ class Simulator {
   std::uint64_t jobs_released() const { return next_job_id_; }
   std::size_t jobs_in_flight() const { return jobs_.size(); }
 
+  // Times the release guard deferred a successor subtask past its
+  // predecessor's completion (the guard's "not before one period since the
+  // previous release" arm fired). Cumulative; the tracer records per-period
+  // deltas.
+  std::uint64_t release_guard_stalls() const { return release_guard_stalls_; }
+
  private:
   struct PendingRelease {  // release-guard queue entry for one subtask
     std::uint64_t instance;
@@ -168,6 +174,7 @@ class Simulator {
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
   std::uint64_t next_job_id_ = 0;
+  std::uint64_t release_guard_stalls_ = 0;
 };
 
 }  // namespace eucon::rts

@@ -1,7 +1,10 @@
 // Failure injection: lossy feedback lanes and task suspension.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "eucon/eucon.h"
+#include "eucon/feedback_lane.h"
 
 namespace eucon {
 namespace {
@@ -26,8 +29,23 @@ TEST(FaultsTest, LossCountMatchesProbability) {
   ExperimentConfig cfg = base_config();
   cfg.report_loss_probability = 0.2;
   const ExperimentResult res = run_experiment(cfg);
-  // 300 periods x 2 processors x 0.2 = 120 expected losses.
-  EXPECT_NEAR(static_cast<double>(res.lost_reports), 120.0, 35.0);
+
+  // The lanes' RNG stream depends only on (seed, loss probability) and each
+  // deliver() consumes exactly one draw per processor, so a shadow instance
+  // fed the same number of periods predicts the loss count exactly — no
+  // statistical tolerance needed.
+  FeedbackLanes shadow(2, cfg.report_loss_probability, cfg.sim.seed);
+  const linalg::Vector probe(2, 0.5);
+  for (int k = 0; k < cfg.num_periods; ++k) (void)shadow.deliver(probe);
+  EXPECT_EQ(res.lost_reports, shadow.lost_reports());
+
+  // And the realized count must be statistically sane for Binomial(600,
+  // 0.2): mean 120, sigma = sqrt(600 * 0.2 * 0.8) ~= 9.8; a 6-sigma band
+  // (~59) only fails on a broken RNG, never on an unlucky seed.
+  const double n = 2.0 * static_cast<double>(cfg.num_periods);
+  const double p = cfg.report_loss_probability;
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(res.lost_reports), n * p, 6.0 * sigma);
 }
 
 TEST(FaultsTest, EuconToleratesModerateReportLoss) {

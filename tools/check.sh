@@ -9,7 +9,12 @@
 #                  qp/control; numeric_guard_test's injection tests activate)
 #   tsan           -DEUCON_SANITIZE=thread (opt-in via --tsan); runs the
 #                  concurrency-focused subset: thread-pool tests, batch
-#                  engine determinism tests, and the bench_perf smoke run
+#                  engine determinism tests, the obs registry/trace
+#                  determinism tests, and the bench_perf smoke run
+#   coverage       -DEUCON_COVERAGE=ON (opt-in via --coverage): Debug build
+#                  with gcc --coverage, full ctest run, then
+#                  tools/coverage_report.py gates aggregate src/ line
+#                  coverage (no gcovr/lcov needed)
 #
 # plus the project linter (tools/eucon_lint) over the whole tree — the
 # machine-readable JSON gate against tools/lint_baseline.txt, exactly as the
@@ -21,6 +26,7 @@
 #   tools/check.sh             # lint + default + asan-ubsan + numeric
 #   tools/check.sh --fast      # lint + default preset only
 #   tools/check.sh --tsan      # also run the thread-sanitizer preset
+#   tools/check.sh --coverage  # coverage preset + line-coverage gate only
 #   tools/check.sh --lint      # lint gate + clang thread-safety build only
 #   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
 #
@@ -92,6 +98,22 @@ run_thread_safety() {
   echo "=== [thread-safety] OK ==="
 }
 
+# Coverage preset: Debug (so short-circuited branches aren't optimized
+# away), gcc --coverage instrumentation, full test run, then the aggregate
+# line-coverage gate. The threshold is deliberately below the current
+# measurement (see docs/quality.md) so it catches coverage *collapses* —
+# a new subsystem landing without tests — not normal fluctuation.
+COVERAGE_THRESHOLD="${COVERAGE_THRESHOLD:-70}"
+run_coverage() {
+  local dir="$ROOT/build-coverage"
+  configure_build_test coverage \
+    -DCMAKE_BUILD_TYPE=Debug -DEUCON_COVERAGE=ON
+  echo "=== [coverage] aggregate line coverage (gate: ${COVERAGE_THRESHOLD}%) ==="
+  python3 "$ROOT/tools/coverage_report.py" \
+    --build-dir "$dir" --repo-root "$ROOT" --threshold "$COVERAGE_THRESHOLD"
+  echo "=== [coverage] OK ==="
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "=== [tidy] SKIPPED: clang-tidy not found on PATH ==="
@@ -118,6 +140,7 @@ for arg in "$@"; do
     --fast) MODE="fast" ;;
     --lint) MODE="lint" ;;
     --tidy) MODE="tidy" ;;
+    --coverage) MODE="coverage" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
       sed -n '2,24p' "$0"
@@ -138,6 +161,9 @@ case "$MODE" in
   tidy)
     run_tidy
     ;;
+  coverage)
+    run_coverage
+    ;;
   fast)
     run_lint
     configure_build_test default
@@ -150,10 +176,12 @@ case "$MODE" in
     configure_build_test numeric -DEUCON_NUMERIC_CHECKS=ON
     if [ "$TSAN" = 1 ]; then
       # Focused on the concurrency surface: the thread pool, the parallel
-      # batch engine (serial-vs-pool determinism), and the bench_perf smoke
-      # run (pooled batch section + JSON schema validation).
+      # batch engine (serial-vs-pool determinism), the observability layer
+      # (shared registry + per-run trace sinks under pooled workers, golden
+      # byte-stability under instrumentation), and the bench_perf smoke run
+      # (pooled batch section + JSON schema validation).
       configure_build_test tsan \
-        --tests 'ThreadPoolTest|BatchTest|bench_perf_smoke' \
+        --tests 'ThreadPoolTest|BatchTest|RegistryTest|TraceDeterminismTest|TraceGoldenTest|bench_perf_smoke' \
         -DEUCON_SANITIZE=thread
     fi
     ;;

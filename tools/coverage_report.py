@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Aggregate line coverage from a --coverage build without gcovr/lcov.
+
+Used by check.sh --coverage (docs/quality.md): walks the .gcda counter
+files a -DEUCON_COVERAGE=ON build+ctest run left behind, asks gcov for its
+JSON intermediate format, and aggregates per-file line coverage over the
+project's src/ tree. Exits nonzero when total line coverage falls below
+--threshold, which is what makes the preset a gate rather than a report.
+
+Only the stock GCC toolchain is required: gcov ships with gcc, and the
+JSON comes out of `gcov --json-format --stdout` (with a gzip fallback for
+gcov builds that ignore --stdout for JSON).
+"""
+
+import argparse
+import collections
+import gzip
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json_docs(gcda_path):
+    """Yields parsed gcov JSON documents for one .gcda file."""
+    workdir = os.path.dirname(gcda_path)
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda_path],
+        cwd=workdir,
+        capture_output=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return
+    produced_stdout = False
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith(b"{"):
+            continue
+        try:
+            yield json.loads(line)
+            produced_stdout = True
+        except json.JSONDecodeError:
+            continue
+    if produced_stdout:
+        return
+    # Fallback: some gcov versions always write <name>.gcov.json.gz files.
+    for name in os.listdir(workdir):
+        if not name.endswith(".gcov.json.gz"):
+            continue
+        path = os.path.join(workdir, name)
+        try:
+            with gzip.open(path, "rb") as f:
+                yield json.loads(f.read())
+        except (OSError, json.JSONDecodeError):
+            pass
+        finally:
+            os.unlink(path)
+
+
+def normalize(path, repo_root):
+    """Repo-relative path for a source file gcov reported, or None."""
+    if not os.path.isabs(path):
+        path = os.path.join(repo_root, path)
+    path = os.path.realpath(path)
+    root = os.path.realpath(repo_root) + os.sep
+    if not path.startswith(root):
+        return None
+    return path[len(root):]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree produced with -DEUCON_COVERAGE=ON")
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: parent of this file)")
+    parser.add_argument("--prefix", default="src/",
+                        help="only count files under this repo-relative "
+                             "prefix (default: src/)")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="minimum total line coverage in percent; "
+                             "below it the exit status is 1")
+    args = parser.parse_args()
+
+    repo_root = args.repo_root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    # file -> line -> max execution count across all TUs that include it.
+    per_file = collections.defaultdict(dict)
+    gcda_count = 0
+    for gcda in find_gcda(args.build_dir):
+        gcda_count += 1
+        for doc in gcov_json_docs(gcda):
+            for f in doc.get("files", []):
+                rel = normalize(f.get("file", ""), repo_root)
+                if rel is None or not rel.startswith(args.prefix):
+                    continue
+                lines = per_file[rel]
+                for line in f.get("lines", []):
+                    number = line.get("line_number")
+                    count = line.get("count", 0)
+                    if number is None:
+                        continue
+                    lines[number] = max(lines.get(number, 0), count)
+
+    if gcda_count == 0:
+        print("coverage: no .gcda files under %s — build with "
+              "-DEUCON_COVERAGE=ON and run ctest first" % args.build_dir,
+              file=sys.stderr)
+        return 1
+
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for rel in sorted(per_file):
+        lines = per_file[rel]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 0.0
+        rows.append((rel, covered, len(lines), pct))
+
+    if total_lines == 0:
+        print("coverage: gcov produced no line records for %s" % args.prefix,
+              file=sys.stderr)
+        return 1
+
+    width = max(len(r[0]) for r in rows)
+    for rel, covered, count, pct in rows:
+        print("%-*s %5d/%-5d %6.1f%%" % (width, rel, covered, count, pct))
+    total_pct = 100.0 * total_covered / total_lines
+    print("%-*s %5d/%-5d %6.1f%%" % (width, "TOTAL", total_covered,
+                                     total_lines, total_pct))
+
+    if total_pct < args.threshold:
+        print("coverage: %.1f%% is below the %.1f%% gate" %
+              (total_pct, args.threshold), file=sys.stderr)
+        return 1
+    print("coverage: %.1f%% >= %.1f%% gate" % (total_pct, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,11 +47,16 @@ using namespace eucon;
                "  --admission               enable the admission governor\n"
                "  --reallocation            enable the reallocation planner\n"
                "  --trace-out FILE          write the execution trace as CSV\n"
+               "  --trace FILE              write the structured per-period JSONL\n"
+               "                            trace (docs/observability.md)\n"
+               "  --metrics                 print the counter/timer registry after\n"
+               "                            the run\n"
                "  --out-prefix P            write P_utilization.csv, P_rates.csv,\n"
                "                            P_summary.txt\n"
                "  --quiet                   suppress the per-period CSV\n"
                "  --summary                 print the summary block\n"
-               "  --diagnose                print plant diagnostics and exit\n",
+               "  --diagnose                print plant diagnostics and exit\n"
+               "Flags also accept the --flag=value spelling.\n",
                argv0);
   std::exit(2);
 }
@@ -86,18 +92,36 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   std::string workload = "simple";
   std::optional<std::string> spec_file;
-  std::string trace_out, out_prefix;
+  std::string trace_out, out_prefix, trace_jsonl;
   bool quiet = false, summary = false, diagnose = false;
+  bool print_metrics = false;
   cfg.sim.jitter = 0.1;
   cfg.sim.seed = 1;
 
-  auto next_value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) usage(argv[0], std::string("missing value after ") + argv[i]);
-    return argv[++i];
+  // Accept both `--flag value` and `--flag=value` spellings: split on the
+  // first '=' of any `--`-prefixed argument before parsing.
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0 &&
+        eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  auto next_value = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size())
+      usage(argv[0], "missing value after " + args[i]);
+    return args[++i];
   };
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string flag = args[i];
     if (flag == "--workload") {
       workload = next_value(i);
     } else if (flag == "--spec") {
@@ -178,6 +202,10 @@ int main(int argc, char** argv) {
     } else if (flag == "--trace-out") {
       trace_out = next_value(i);
       cfg.sim.enable_trace = true;
+    } else if (flag == "--trace") {
+      trace_jsonl = next_value(i);
+    } else if (flag == "--metrics") {
+      print_metrics = true;
     } else if (flag == "--out-prefix") {
       out_prefix = next_value(i);
     } else if (flag == "--quiet") {
@@ -218,6 +246,19 @@ int main(int argc, char** argv) {
       std::printf("%s", control::to_string(control::diagnose_plant(model)).c_str());
       return 0;
     }
+
+    cfg.run_name = spec_file ? *spec_file : workload;
+    obs::Registry registry;
+    if (print_metrics) cfg.metrics = &registry;
+    std::unique_ptr<obs::FileSink> trace_sink;
+    if (!trace_jsonl.empty()) {
+      trace_sink = std::make_unique<obs::FileSink>(trace_jsonl);
+      cfg.trace_sink = trace_sink.get();
+    }
+    if (!obs::kEnabled && (print_metrics || !trace_jsonl.empty()))
+      std::fprintf(stderr,
+                   "note: observability compiled out (EUCON_OBS=OFF); "
+                   "--trace/--metrics produce no data\n");
 
     const ExperimentResult res = run_experiment(cfg);
     const std::size_t n = res.set_points.size();
@@ -266,6 +307,25 @@ int main(int argc, char** argv) {
       report::write_all(res, cfg.spec, out_prefix);
       std::fprintf(stderr, "wrote %s_{utilization,rates}.csv and %s_summary.txt\n",
                    out_prefix.c_str(), out_prefix.c_str());
+    }
+
+    if (print_metrics) {
+      const obs::Snapshot snap = registry.snapshot();
+      std::printf("# metrics\n");
+      for (const auto& [name, value] : snap.counters)
+        std::printf("# counter %s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      for (const auto& [name, value] : snap.gauges)
+        std::printf("# gauge %s %.6g\n", name.c_str(), value);
+      for (const auto& [name, t] : snap.timers)
+        std::printf("# timer %s count=%llu total_us=%.3f mean_us=%.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(t.count),
+                    static_cast<double>(t.total_ns) / 1000.0, t.mean_us());
+    }
+
+    if (!trace_jsonl.empty()) {
+      trace_sink.reset();  // close + flush before reporting
+      std::fprintf(stderr, "wrote JSONL trace to %s\n", trace_jsonl.c_str());
     }
 
     if (!trace_out.empty()) {

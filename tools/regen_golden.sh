@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# regen_golden.sh — regenerate the golden JSONL traces in tests/golden/.
+#
+# The golden-trace regression suite (tests/trace_golden_test.cpp) byte-
+# compares the traces of three pinned configurations against the files
+# checked in under tests/golden/. After an *intentional* behavior change —
+# controller tuning, simulator semantics, trace schema — run this script,
+# review `git diff tests/golden/` like any other code change, and commit
+# the new files together with the change that caused them.
+#
+# Usage: tools/regen_golden.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B "$BUILD" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target trace_golden_test
+
+mkdir -p "$ROOT/tests/golden"
+EUCON_REGEN_GOLDEN=1 "$BUILD/tests/trace_golden_test" \
+  --gtest_filter='Golden/*'
+
+# Prove the regenerated files round-trip before handing back to the user.
+"$BUILD/tests/trace_golden_test" --gtest_filter='Golden/*'
+
+echo
+echo "regen_golden.sh: tests/golden/ regenerated and verified."
+echo "Review with: git diff tests/golden/"
