@@ -104,6 +104,8 @@ MpcController::MpcController(PlantModel model, MpcParams params,
       mats_(build_mpc_matrices(active_model_, params_)),
       solver_(mats_.c),
       enabled_(model_.num_tasks(), true),
+      tracked_(model_.num_processors(), true),
+      tracked_count_(model_.num_processors()),
       gain_estimate_(model_.num_processors(), 1.0),
       rates_(std::move(initial_rates)),
       dr_prev_(model_.num_tasks(), 0.0) {
@@ -121,11 +123,16 @@ void MpcController::set_set_points(const Vector& b) {
 }
 
 void MpcController::rebuild_active_model() {
+  // Untracked processors keep their du rows in build_mpc_matrices (sq·shape
+  // entries), but their C tracking rows are all zero here, so the residual
+  // on those rows is a constant — it shifts the cost, never the argmin. C
+  // keeps full column rank through the control-penalty rows regardless.
   active_model_.f = model_.f;
   for (std::size_t i = 0; i < active_model_.f.rows(); ++i)
     for (std::size_t j = 0; j < active_model_.f.cols(); ++j)
-      active_model_.f(i, j) =
-          enabled_[j] ? gain_estimate_[i] * model_.f(i, j) : 0.0;
+      active_model_.f(i, j) = tracked_[i] && enabled_[j]
+                                  ? gain_estimate_[i] * model_.f(i, j)
+                                  : 0.0;
   mats_ = build_mpc_matrices(active_model_, params_);
   solver_.reset(mats_.c);
   rebuild_constraint_templates();
@@ -139,16 +146,23 @@ void MpcController::rebuild_constraint_templates() {
 
   // Distinct utilization constraints exist only for i = 1..M: beyond the
   // control horizon the predicted utilization is constant (S_i = S_M).
-  const std::size_t util_rows = n * static_cast<std::size_t>(mh);
+  // Untracked processors get no utilization rows at all (row-skipping): a
+  // zeroed-F row with a stale u > B on the right-hand side would make the
+  // instance unconditionally infeasible.
+  const std::size_t util_rows = tracked_count_ * static_cast<std::size_t>(mh);
   const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
 
   a_full_ = Matrix(util_rows + rate_rows, cols);
   a_rates_ = Matrix(rate_rows, cols);
 
   std::size_t row0 = 0;
-  for (int i = 1; i <= mh; ++i, row0 += n) {
+  for (int i = 1; i <= mh; ++i) {
     const Matrix fsi = active_model_.f * selector(m, mh, i);
-    a_full_.set_block(row0, 0, fsi);
+    for (std::size_t rr = 0; rr < n; ++rr) {
+      if (!tracked_[rr]) continue;
+      for (std::size_t cc = 0; cc < cols; ++cc) a_full_(row0, cc) = fsi(rr, cc);
+      ++row0;
+    }
   }
   for (int i = 1; i <= mh; ++i, row0 += 2 * m) {
     const Matrix si = selector(m, mh, i);
@@ -175,6 +189,26 @@ void MpcController::set_enabled_tasks(const std::vector<bool>& enabled) {
   for (std::size_t j = 0; j < enabled_.size(); ++j)
     if (!enabled_[j]) dr_prev_[j] = 0.0;
   rebuild_active_model();
+}
+
+void MpcController::set_tracked_processors(const std::vector<bool>& tracked) {
+  EUCON_REQUIRE(tracked.size() == model_.num_processors(),
+                "tracked-processor mask size mismatch");
+  EUCON_REQUIRE(std::find(tracked.begin(), tracked.end(), true) != tracked.end(),
+                "at least one processor must stay tracked");
+  if (tracked == tracked_) return;  // avoid invalidating warm starts
+  tracked_ = tracked;
+  tracked_count_ = static_cast<std::size_t>(
+      std::count(tracked_.begin(), tracked_.end(), true));
+  rebuild_active_model();
+}
+
+void MpcController::reset_rates(const linalg::Vector& rates) {
+  EUCON_REQUIRE(rates.size() == model_.num_tasks(),
+                "rate vector size mismatch");
+  EUCON_CHECK_FINITE_VEC("MpcController::reset_rates input", rates);
+  rates_ = rates.clamped(model_.rate_min, model_.rate_max);
+  dr_prev_ = Vector(model_.num_tasks(), 0.0);
 }
 
 void MpcController::set_allocation_matrix(const linalg::Matrix& f) {
@@ -209,15 +243,17 @@ void MpcController::fill_constraint_rhs(const Vector& u, bool with_util_rows,
   const std::size_t m = active_model_.num_tasks();
   const int mh = params_.control_horizon;
 
-  const std::size_t util_rows = with_util_rows ? n * static_cast<std::size_t>(mh) : 0;
+  const std::size_t util_rows =
+      with_util_rows ? tracked_count_ * static_cast<std::size_t>(mh) : 0;
   const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
   b.data().resize(util_rows + rate_rows);
 
   std::size_t row0 = 0;
   if (with_util_rows) {
-    for (int i = 1; i <= mh; ++i, row0 += n)
+    // Mirrors the row-skipping layout of rebuild_constraint_templates.
+    for (int i = 1; i <= mh; ++i)
       for (std::size_t rr = 0; rr < n; ++rr)
-        b[row0 + rr] = active_model_.b[rr] - u[rr];
+        if (tracked_[rr]) b[row0++] = active_model_.b[rr] - u[rr];
   }
   for (int i = 1; i <= mh; ++i, row0 += 2 * m) {
     for (std::size_t rr = 0; rr < m; ++rr) {
@@ -255,6 +291,7 @@ Vector MpcController::update(const Vector& u) {
   if (util_rows) {
     bool zero_ok = true, drop_ok = true;
     for (std::size_t i = 0; i < active_model_.num_processors(); ++i) {
+      if (!tracked_[i]) continue;  // no util rows for untracked processors
       if (u[i] > active_model_.b[i] + tol) zero_ok = false;
       double u_drop = u[i];
       for (std::size_t j = 0; j < m; ++j) u_drop += active_model_.f(i, j) * x_drop[j];

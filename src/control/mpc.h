@@ -92,6 +92,22 @@ class MpcController final : public Controller {
   void set_enabled_tasks(const std::vector<bool>& enabled);
   const std::vector<bool>& enabled_tasks() const { return enabled_; }
 
+  // Drops processors from the tracked set (stale-lane degradation — see
+  // eucon/faults.h and docs/robustness.md): an untracked processor's
+  // allocation row is zeroed in the prediction model and its utilization
+  // constraint rows are omitted from the QP, so a stale measurement can
+  // neither attract the optimizer nor render the instance infeasible
+  // (0·x <= B - u_stale would be unsatisfiable for u_stale > B). Pass one
+  // flag per processor; all-true restores normal operation. At least one
+  // processor must stay tracked.
+  void set_tracked_processors(const std::vector<bool>& tracked);
+  const std::vector<bool>& tracked_processors() const { return tracked_; }
+
+  // Resynchronizes the controller's rate belief r(k-1) with externally
+  // applied rates (watchdog recovery after a blackout handled by a backup
+  // policy). Clamps into [R_min, R_max] and zeroes the carried Δr(k-1).
+  void reset_rates(const linalg::Vector& rates);
+
   // Replaces the allocation matrix after a task reallocation (§6.2): the
   // prediction model follows the new placement; rates and set points are
   // untouched.
@@ -152,6 +168,8 @@ class MpcController final : public Controller {
   MpcMatrices mats_;
   qp::LsqlinSolver solver_;  // caches the factorization of mats_.c
   std::vector<bool> enabled_;
+  std::vector<bool> tracked_;      // per-processor; false = stale, ignored
+  std::size_t tracked_count_ = 0;  // number of true flags in tracked_
   linalg::Vector gain_estimate_;  // per-processor; all-ones = paper's G = I
   linalg::Vector rates_;    // r(k-1), the currently applied rates
   linalg::Vector dr_prev_;  // Δr(k-1) actually applied

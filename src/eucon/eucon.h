@@ -29,6 +29,7 @@
 #include "control/stability.h"
 #include "control/uncoordinated.h"
 #include "eucon/experiment.h"
+#include "eucon/faults.h"
 #include "eucon/metrics.h"
 #include "eucon/network.h"
 #include "eucon/replication.h"

@@ -1,6 +1,8 @@
 #include "eucon/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <future>
 
@@ -102,6 +104,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   EUCON_REQUIRE(!config.enable_reallocation ||
                     config.controller == ControllerKind::kEucon,
                 "task reallocation requires the EUCON controller");
+  EUCON_REQUIRE(config.degrade.stale_limit >= 0,
+                "stale_limit must be non-negative");
+  EUCON_REQUIRE(!config.degrade.enabled() ||
+                    config.controller == ControllerKind::kEucon,
+                "degradation policies require the EUCON controller");
+  EUCON_REQUIRE(config.lane_initial.empty() ||
+                    config.lane_initial.size() ==
+                        static_cast<std::size_t>(config.spec.num_processors),
+                "lane_initial size mismatch");
   config.spec.validate();
 
   auto controller = make_controller(config);
@@ -129,9 +140,38 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Monitor -> controller channels (with optional loss injection); the
   // lanes' RNG stream is derived from the seed independently of the
-  // execution-time jitter stream, keeping runs reproducible.
-  FeedbackLanes lanes(static_cast<std::size_t>(config.spec.num_processors),
-                      config.report_loss_probability, config.sim.seed);
+  // execution-time jitter stream, keeping runs reproducible. Last-delivered
+  // values start at the set points (or config.lane_initial) so a lost early
+  // report reads as "on target", not as an idle processor.
+  FeedbackLanes lanes(
+      config.lane_initial.empty() ? model.b : config.lane_initial,
+      config.report_loss_probability, config.sim.seed);
+
+  // ---- Fault injection + degradation state (docs/robustness.md) ----
+  const std::size_t n = static_cast<std::size_t>(config.spec.num_processors);
+  const bool faults_on = !config.faults.empty();
+  const bool faults_active = faults_on || config.degrade.enabled();
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (faults_on)
+    injector = std::make_unique<faults::FaultInjector>(config.faults, n,
+                                                       config.sim.seed);
+  // Actuation is modeled as one rate-command message per owning processor
+  // per period (owner = host of the task's first subtask, the decentralized
+  // architecture's convention); the plan can delay or drop those messages.
+  std::vector<std::size_t> owner(config.spec.num_tasks(), 0);
+  std::vector<unsigned char> owner_has(n, 0);
+  if (faults_on) {
+    for (std::size_t j = 0; j < owner.size(); ++j) {
+      owner[j] = static_cast<std::size_t>(
+          config.spec.tasks[j].subtasks.front().processor);
+      owner_has[owner[j]] = 1;
+    }
+  }
+  struct PendingCommand {
+    int arrive_k;
+    linalg::Vector rates;
+  };
+  std::deque<PendingCommand> in_flight;
 
   const Ticks ts = units_to_ticks(config.sampling_period);
   ExperimentResult result;
@@ -139,6 +179,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.trace.reserve(static_cast<std::size_t>(config.num_periods));
 
   std::vector<bool> enabled(config.spec.num_tasks(), true);
+
+  // Degradation state: the rates actually at the plant (distinct from the
+  // central controller's belief once actuation faults bite), the lazily
+  // constructed blackout backup, and the MPC tracked set.
+  linalg::Vector applied(sim.current_rates());
+  std::unique_ptr<control::Controller> backup;
+  bool was_blackout = false;
+  std::vector<bool> tracked(n, true);
+  std::uint64_t act_lost_total = 0, overload_total = 0, blackout_total = 0;
+  std::uint64_t stale_drops = 0, stale_restores = 0;
+  int max_stale_run = 0;
 
   // Observability taps (docs/observability.md). `metrics` and `sink` are
   // per-run views onto caller-owned objects; when EUCON_OBS is compiled out
@@ -168,6 +219,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   for (int k = 1; k <= config.num_periods; ++k) {
     OBS_TIMED(metrics, "experiment.period");
+    std::uint64_t overload_hits = 0;
+    if (injector != nullptr) {
+      // Faults for period k are drawn before simulating it, so an overload
+      // spike lands inside the window it is scripted for.
+      injector->begin_period(k);
+      for (std::size_t p = 0; p < n; ++p) {
+        const double extra = injector->overload_for(p);
+        if (extra > 0.0) {
+          sim.inject_overhead(static_cast<int>(p), extra);
+          ++overload_hits;
+        }
+      }
+      overload_total += overload_hits;
+    }
     {
       OBS_TIMED(metrics, "sim.advance");
       sim.run_until(static_cast<Ticks>(k) * ts);
@@ -175,14 +240,107 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const std::vector<double> u = sim.sample_utilizations();
 
     // Deliver the reports over the (possibly lossy) feedback lanes.
-    const linalg::Vector u_seen = lanes.deliver(linalg::Vector(u));
+    const linalg::Vector u_seen = lanes.deliver(
+        linalg::Vector(u),
+        injector != nullptr ? &injector->lane_loss_mask() : nullptr);
+    max_stale_run = std::max(max_stale_run, lanes.max_staleness());
 
-    const linalg::Vector rates = controller->update(u_seen);
-    sim.set_rates(rates.data());
-    if (config.controller_host >= 0 && config.controller_overhead > 0.0)
-      sim.inject_overhead(config.controller_host, config.controller_overhead);
+    const bool blackout = injector != nullptr && injector->controller_down();
+    if (blackout) ++blackout_total;
 
-    if (governor != nullptr) {
+    // Staleness fallback: a lane whose report is stale_limit periods old is
+    // dropped from the MPC's tracked set (its frozen measurement neither
+    // attracts the optimizer nor constrains it) and restored by the next
+    // delivery. An all-stale mask leaves the set unchanged — the MPC needs
+    // at least one tracked processor.
+    if (config.degrade.stale_limit > 0) {
+      std::vector<bool> fresh(n, true);
+      bool any_fresh = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        fresh[p] = lanes.staleness()[p] < config.degrade.stale_limit;
+        any_fresh = any_fresh || fresh[p];
+      }
+      if (any_fresh && fresh != tracked) {
+        for (std::size_t p = 0; p < n; ++p) {
+          if (tracked[p] && !fresh[p]) ++stale_drops;
+          if (!tracked[p] && fresh[p]) ++stale_restores;
+        }
+        tracked = fresh;
+        mpc_diag->set_tracked_processors(tracked);
+      }
+    }
+
+    std::uint64_t act_lost_hits = 0;
+    linalg::Vector rates;  // the central controller's belief this period
+    if (!blackout) {
+      if (was_blackout) {
+        // Recovery: resynchronize the controller's rate belief with what
+        // the backup policy actually applied, then retire the backup. Under
+        // kNone/kHoldRates nothing moved, so nothing needs resyncing.
+        if (config.degrade.policy == faults::DegradePolicy::kOpenLoop ||
+            config.degrade.policy == faults::DegradePolicy::kDecentralized)
+          mpc_diag->reset_rates(applied);
+        backup.reset();
+      }
+      rates = controller->update(u_seen);
+      if (!faults_on) {
+        applied = rates;
+        sim.set_rates(applied.data());
+      } else {
+        in_flight.push_back({k + config.faults.actuation_delay, rates});
+      }
+      if (config.controller_host >= 0 && config.controller_overhead > 0.0)
+        sim.inject_overhead(config.controller_host, config.controller_overhead);
+    } else {
+      // Controller blackout: no central update, no co-hosted overhead, no
+      // admission/reallocation adjuncts. The watchdog applies its policy.
+      rates = applied;
+      switch (config.degrade.policy) {
+        case faults::DegradePolicy::kNone:
+        case faults::DegradePolicy::kHoldRates:
+          break;  // rates freeze; in-flight commands still arrive below
+        case faults::DegradePolicy::kOpenLoop:
+          if (backup == nullptr) {
+            in_flight.clear();  // the backup owns the actuators now
+            backup = std::make_unique<control::OpenLoopController>(
+                model, config.spec.initial_rate_vector());
+          }
+          applied = backup->update(u_seen);
+          sim.set_rates(applied.data());
+          break;
+        case faults::DegradePolicy::kDecentralized:
+          if (backup == nullptr) {
+            in_flight.clear();
+            backup = std::make_unique<control::DecentralizedMpcController>(
+                model, config.mpc, applied);
+          }
+          applied = backup->update(u_seen);
+          sim.set_rates(applied.data());
+          break;
+      }
+    }
+
+    // Actuation arrivals: each queued command is one message per owning
+    // processor, each subject to this period's actuation-loss draws. A
+    // dropped message means the owner's tasks keep their previous rates
+    // (the next period's command supersedes it — no retransmission).
+    while (faults_on && !in_flight.empty() && in_flight.front().arrive_k <= k) {
+      const PendingCommand cmd = std::move(in_flight.front());
+      in_flight.pop_front();
+      std::vector<unsigned char> lost(n, 0);
+      for (std::size_t p = 0; p < n; ++p) {
+        if (owner_has[p] != 0 && injector->actuation_lost(p)) {
+          lost[p] = 1;
+          ++act_lost_hits;
+        }
+      }
+      for (std::size_t j = 0; j < owner.size(); ++j)
+        if (lost[owner[j]] == 0) applied[j] = cmd.rates[j];
+      sim.set_rates(applied.data());
+    }
+    act_lost_total += act_lost_hits;
+
+    if (governor != nullptr && !blackout) {
       const std::vector<bool>& mask = governor->update(linalg::Vector(u), rates);
       if (mask != enabled) {
         enabled = mask;
@@ -192,7 +350,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
             .set_enabled_tasks(enabled);
       }
     }
-    if (planner != nullptr) {
+    if (planner != nullptr && !blackout) {
       if (const auto move = planner->update(linalg::Vector(u), rates)) {
         sim.migrate_subtask(move->task, move->subtask, move->to);
         dynamic_cast<control::MpcController&>(*controller)
@@ -200,12 +358,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         result.reallocations.push_back(*move);
       }
     }
-    if (config.on_period) config.on_period(k, *controller);
+    if (config.on_period && !blackout) config.on_period(k, *controller);
 
     SampleRecord rec;
     rec.k = k;
     rec.u = u;
-    rec.rates = rates.data();
+    rec.rates = applied.data();
     rec.enabled_tasks = static_cast<int>(
         std::count(enabled.begin(), enabled.end(), true));
     result.trace.push_back(std::move(rec));
@@ -217,7 +375,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         prec.time_units = sim.now_units();
         prec.u = u;
         prec.u_seen = u_seen.data();
-        prec.rates = rates.data();
+        prec.rates = applied.data();
         prec.delta_r.resize(prec.rates.size());
         for (std::size_t j = 0; j < prec.rates.size(); ++j)
           prec.delta_r[j] = prec.rates[j] - prev_rates[j];
@@ -234,12 +392,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           prec.qp_status = qp_status_name(mpc_diag->last_status());
           prec.qp_active_set = mpc_diag->last_working_set();
         }
+        if (faults_active) {
+          prec.faults_active = true;
+          prec.fault_mode = blackout ? "blackout" : "normal";
+          prec.forced_losses =
+              injector != nullptr ? injector->forced_losses_this_period() : 0;
+          prec.actuation_lost = act_lost_hits;
+          prec.overload_injections = overload_hits;
+          prec.tracked_processors = static_cast<int>(
+              std::count(tracked.begin(), tracked.end(), true));
+          prec.staleness.assign(lanes.staleness().begin(),
+                                lanes.staleness().end());
+        }
         sink->period(prec);
       }
     }
+    was_blackout = blackout;
   }
 
   result.lost_reports = lanes.lost_reports();
+  result.forced_losses =
+      injector != nullptr ? injector->forced_losses_total() : 0;
+  result.actuation_lost_commands = act_lost_total;
+  result.overload_injections = overload_total;
+  result.blackout_periods = blackout_total;
+  result.stale_drops = stale_drops;
+  result.stale_restores = stale_restores;
+  result.max_staleness = max_stale_run;
   result.deadlines = sim.deadline_stats();
   if (config.sim.enable_trace) result.trace_log = sim.trace();
   if (mpc_diag != nullptr)
@@ -260,6 +439,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       if (mpc_diag != nullptr) {
         summary.qp_iterations_total = mpc_diag->qp_iterations_total();
         summary.qp_fast_path_hits = mpc_diag->fast_path_hits();
+      }
+      if (faults_active) {
+        summary.faults_active = true;
+        summary.forced_losses = result.forced_losses;
+        summary.actuation_lost = act_lost_total;
+        summary.overload_injections = overload_total;
+        summary.blackout_periods = blackout_total;
+        summary.stale_drops = stale_drops;
+        summary.stale_restores = stale_restores;
+        summary.max_staleness = max_stale_run;
       }
       sink->end_run(summary);
     }
@@ -288,6 +477,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         metrics->add("admission.readmissions", governor->readmissions());
       }
       metrics->add("reallocation.moves", result.reallocations.size());
+      if (faults_active) {
+        metrics->add("faults.forced_losses", result.forced_losses);
+        metrics->add("faults.actuation_lost", act_lost_total);
+        metrics->add("faults.overload_injections", overload_total);
+        metrics->add("faults.blackout_periods", blackout_total);
+        metrics->add("faults.stale_drops", stale_drops);
+        metrics->add("faults.stale_restores", stale_restores);
+        metrics->set_gauge("faults.max_staleness",
+                           static_cast<double>(max_stale_run));
+      }
     }
   }
   return result;

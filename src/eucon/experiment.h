@@ -15,6 +15,7 @@
 #include "control/uncoordinated.h"
 #include "control/mpc.h"
 #include "control/pid.h"
+#include "eucon/faults.h"
 #include "linalg/vector.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -50,6 +51,23 @@ struct ExperimentConfig {
   // sampling period (failure injection on the feedback lanes); the
   // controller then sees that processor's last delivered value.
   double report_loss_probability = 0.0;
+
+  // What the lanes report before the first delivery: empty (default) means
+  // the per-processor set points B_i — a lost early report then reads as
+  // "on target" rather than "idle" (the cold-start phantom-idle bug, where
+  // last-delivered started at 0 and a period-1 loss slammed rates toward
+  // R_max on exactly the processor the controller knew least about). Size
+  // must match the processor count when non-empty.
+  linalg::Vector lane_initial;
+
+  // Scripted fault injection beyond i.i.d. report loss (eucon/faults.h):
+  // lane outage bursts, actuation loss/delay, overload spikes, controller
+  // blackouts. Empty plan = nothing injected, zero hot-path cost.
+  faults::FaultPlan faults;
+  // Graceful degradation: the controller watchdog policy used during
+  // blackouts and the per-lane staleness fallback. Policies other than
+  // kNone (and stale_limit > 0) require ControllerKind::kEucon.
+  faults::DegradeConfig degrade;
 
   // Admission control (§6.2's alternative adaptation mechanism). Only
   // meaningful with ControllerKind::kEucon: the governor suspends /
@@ -107,6 +125,15 @@ struct ExperimentResult {
   std::uint64_t lost_reports = 0;  // injected feedback-lane losses
   std::vector<control::Move> reallocations;  // executed migrations, in order
   rts::TraceLog trace_log;  // populated when sim.enable_trace is set
+
+  // Fault-injection / degradation accounting (all zero for clean runs).
+  std::uint64_t forced_losses = 0;        // injector-forced lane losses
+  std::uint64_t actuation_lost_commands = 0;
+  std::uint64_t overload_injections = 0;
+  std::uint64_t blackout_periods = 0;
+  std::uint64_t stale_drops = 0;     // lanes dropped from the tracked set
+  std::uint64_t stale_restores = 0;  // lanes restored after a fresh report
+  int max_staleness = 0;             // worst consecutive-loss streak
 
   // Series of u_p(k) for processor p.
   std::vector<double> utilization_series(std::size_t processor) const;

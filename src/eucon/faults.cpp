@@ -1,0 +1,511 @@
+#include "eucon/faults.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eucon::faults {
+
+double GilbertElliott::stationary_loss() const {
+  if (!enabled()) return 0.0;
+  const double denom = p_enter + p_exit;
+  const double pi_bad = denom > 0.0 ? p_enter / denom : 1.0;
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+bool FaultPlan::empty() const {
+  return !lane_loss.enabled() && actuation_loss <= 0.0 &&
+         actuation_delay == 0 && lane_outages.empty() &&
+         actuation_outages.empty() && overload_spikes.empty() &&
+         blackouts.empty();
+}
+
+namespace {
+
+void require_probability(double p, const char* what) {
+  EUCON_REQUIRE(p >= 0.0 && p <= 1.0,
+                std::string(what) + " must be a probability in [0, 1]");
+}
+
+void require_window(int start, int duration, const char* what) {
+  EUCON_REQUIRE(start >= 1,
+                std::string(what) + " start must be a 1-based period index");
+  EUCON_REQUIRE(duration >= 1,
+                std::string(what) + " duration must be at least one period");
+}
+
+bool in_window(int k, int start, int duration) {
+  return k >= start && k < start + duration;
+}
+
+}  // namespace
+
+void FaultPlan::validate(int num_processors) const {
+  EUCON_REQUIRE(num_processors > 0, "fault plan needs at least one processor");
+  require_probability(lane_loss.p_enter, "gilbert_elliott.p_enter");
+  require_probability(lane_loss.p_exit, "gilbert_elliott.p_exit");
+  require_probability(lane_loss.loss_good, "gilbert_elliott.loss_good");
+  require_probability(lane_loss.loss_bad, "gilbert_elliott.loss_bad");
+  EUCON_REQUIRE(actuation_loss >= 0.0 && actuation_loss < 1.0,
+                "actuation_loss must be in [0, 1)");
+  EUCON_REQUIRE(actuation_delay >= 0,
+                "actuation_delay must be a non-negative period count");
+  for (const LaneOutage& o : lane_outages) {
+    EUCON_REQUIRE(o.lane >= 0 && o.lane < num_processors,
+                  "lane_outages lane out of range");
+    require_window(o.start, o.duration, "lane_outages");
+  }
+  for (const ActuationOutage& o : actuation_outages) {
+    EUCON_REQUIRE(o.processor >= 0 && o.processor < num_processors,
+                  "actuation_outages processor out of range");
+    require_window(o.start, o.duration, "actuation_outages");
+  }
+  for (const OverloadSpike& s : overload_spikes) {
+    EUCON_REQUIRE(s.processor >= 0 && s.processor < num_processors,
+                  "overload_spikes processor out of range");
+    require_window(s.start, s.duration, "overload_spikes");
+    EUCON_REQUIRE(s.exec_units > 0.0,
+                  "overload_spikes exec must be positive time units");
+  }
+  for (const ControllerBlackout& b : blackouts)
+    require_window(b.start, b.duration, "controller_blackouts");
+}
+
+// ---------------------------------------------------------------------------
+// Plan parsing: a minimal recursive-descent JSON reader scoped to the plan
+// schema (docs/robustness.md). Self-contained so the CLI needs no external
+// JSON dependency; errors carry the byte offset for one-line diagnostics.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNumber;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    EUCON_FAIL_INVALID("fault plan JSON: " + what + " at byte " +
+                       std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string_body();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    return number();
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail("unsupported string escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                           c == 'E' || c == '-' || c == '+';
+      if (!numeric) break;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::istringstream in(tok);
+    in >> v.number;
+    if (in.fail() || !in.eof() || !std::isfinite(v.number))
+      fail("malformed number '" + tok + "'");
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_body();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void plan_error(const std::string& what) {
+  EUCON_FAIL_INVALID("fault plan: " + what);
+}
+
+double as_number(const JsonValue& v, const std::string& key) {
+  if (v.kind != JsonValue::Kind::kNumber) plan_error(key + " must be a number");
+  return v.number;
+}
+
+int as_int(const JsonValue& v, const std::string& key) {
+  const double d = as_number(v, key);
+  const double rounded = std::floor(d + 0.5);
+  if (std::abs(d - rounded) > 1e-9 || std::abs(d) > 1e15)
+    plan_error(key + " must be an integer");
+  return static_cast<int>(rounded);
+}
+
+std::uint64_t as_u64(const JsonValue& v, const std::string& key) {
+  const double d = as_number(v, key);
+  if (d < 0.0 || std::abs(d - std::floor(d + 0.5)) > 1e-9 || d > 1e15)
+    plan_error(key + " must be a non-negative integer");
+  return static_cast<std::uint64_t>(d + 0.5);
+}
+
+const std::vector<JsonValue>& as_array(const JsonValue& v,
+                                       const std::string& key) {
+  if (v.kind != JsonValue::Kind::kArray) plan_error(key + " must be an array");
+  return v.items;
+}
+
+// Walks an object's members against a fixed key list via `handle(key,
+// value) -> bool`; any unhandled key is an error so typos never silently
+// disable a fault source.
+template <typename Fn>
+void for_each_member(const JsonValue& v, const std::string& what, Fn handle) {
+  if (v.kind != JsonValue::Kind::kObject)
+    plan_error(what + " must be an object");
+  for (const auto& [key, value] : v.members) {
+    if (!handle(key, value))
+      plan_error("unknown key \"" + key + "\" in " + what);
+  }
+}
+
+GilbertElliott parse_gilbert_elliott(const JsonValue& v) {
+  GilbertElliott ge;
+  // A configured block means "model on": loss_bad defaults to 1 and p_exit
+  // to 1 (single-period bursts) unless overridden.
+  for_each_member(v, "gilbert_elliott",
+                  [&](const std::string& key, const JsonValue& val) {
+                    if (key == "p_enter") ge.p_enter = as_number(val, key);
+                    else if (key == "p_exit") ge.p_exit = as_number(val, key);
+                    else if (key == "loss_good") ge.loss_good = as_number(val, key);
+                    else if (key == "loss_bad") ge.loss_bad = as_number(val, key);
+                    else return false;
+                    return true;
+                  });
+  return ge;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& json) {
+  JsonReader reader(json);
+  const JsonValue root = reader.parse();
+  FaultPlan plan;
+  for_each_member(root, "plan", [&](const std::string& key, const JsonValue& v) {
+    if (key == "seed") {
+      plan.seed = as_u64(v, key);
+    } else if (key == "gilbert_elliott") {
+      plan.lane_loss = parse_gilbert_elliott(v);
+    } else if (key == "actuation_loss") {
+      plan.actuation_loss = as_number(v, key);
+    } else if (key == "actuation_delay") {
+      plan.actuation_delay = as_int(v, key);
+    } else if (key == "lane_outages") {
+      for (const JsonValue& item : as_array(v, key)) {
+        LaneOutage o;
+        for_each_member(item, "lane_outages entry",
+                        [&](const std::string& k2, const JsonValue& v2) {
+                          if (k2 == "lane") o.lane = as_int(v2, k2);
+                          else if (k2 == "start") o.start = as_int(v2, k2);
+                          else if (k2 == "duration") o.duration = as_int(v2, k2);
+                          else return false;
+                          return true;
+                        });
+        plan.lane_outages.push_back(o);
+      }
+    } else if (key == "actuation_outages") {
+      for (const JsonValue& item : as_array(v, key)) {
+        ActuationOutage o;
+        for_each_member(item, "actuation_outages entry",
+                        [&](const std::string& k2, const JsonValue& v2) {
+                          if (k2 == "processor") o.processor = as_int(v2, k2);
+                          else if (k2 == "start") o.start = as_int(v2, k2);
+                          else if (k2 == "duration") o.duration = as_int(v2, k2);
+                          else return false;
+                          return true;
+                        });
+        plan.actuation_outages.push_back(o);
+      }
+    } else if (key == "overload_spikes") {
+      for (const JsonValue& item : as_array(v, key)) {
+        OverloadSpike s;
+        for_each_member(item, "overload_spikes entry",
+                        [&](const std::string& k2, const JsonValue& v2) {
+                          if (k2 == "processor") s.processor = as_int(v2, k2);
+                          else if (k2 == "start") s.start = as_int(v2, k2);
+                          else if (k2 == "duration") s.duration = as_int(v2, k2);
+                          else if (k2 == "exec") s.exec_units = as_number(v2, k2);
+                          else return false;
+                          return true;
+                        });
+        plan.overload_spikes.push_back(s);
+      }
+    } else if (key == "controller_blackouts") {
+      for (const JsonValue& item : as_array(v, key)) {
+        ControllerBlackout b;
+        for_each_member(item, "controller_blackouts entry",
+                        [&](const std::string& k2, const JsonValue& v2) {
+                          if (k2 == "start") b.start = as_int(v2, k2);
+                          else if (k2 == "duration") b.duration = as_int(v2, k2);
+                          else return false;
+                          return true;
+                        });
+        plan.blackouts.push_back(b);
+      }
+    } else {
+      return false;
+    }
+    return true;
+  });
+  return plan;
+}
+
+FaultPlan load_fault_plan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) EUCON_FAIL("cannot open fault plan: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_fault_plan(buf.str());
+}
+
+const char* degrade_policy_name(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kNone:
+      return "none";
+    case DegradePolicy::kHoldRates:
+      return "hold-rates";
+    case DegradePolicy::kOpenLoop:
+      return "open-loop";
+    case DegradePolicy::kDecentralized:
+      return "decentralized";
+  }
+  return "?";
+}
+
+DegradePolicy parse_degrade_policy(const std::string& name) {
+  if (name == "none") return DegradePolicy::kNone;
+  if (name == "hold-rates") return DegradePolicy::kHoldRates;
+  if (name == "open-loop") return DegradePolicy::kOpenLoop;
+  if (name == "decentralized") return DegradePolicy::kDecentralized;
+  EUCON_FAIL_INVALID("unknown degradation policy: " + name +
+                     " (expected none, hold-rates, open-loop or decentralized)");
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Folds the plan seed into the run's sim seed so distinct runs of one plan
+// (and distinct plans on one run seed) draw independent streams.
+Rng fault_base_rng(const FaultPlan& plan, std::uint64_t run_seed) {
+  std::uint64_t state = run_seed ^ (plan.seed * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64_next(state));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t num_processors,
+                             std::uint64_t run_seed)
+    : plan_(plan),
+      num_processors_(num_processors),
+      ge_bad_(num_processors, 0),
+      actuation_rng_(fault_base_rng(plan, run_seed).split(0xac70)),
+      lane_lost_(num_processors, 0),
+      actuation_lost_(num_processors, 0),
+      overload_(num_processors, 0.0) {
+  EUCON_REQUIRE(num_processors > 0, "fault injector needs processors");
+  plan_.validate(eucon::narrow<int>(num_processors));
+  const Rng base = fault_base_rng(plan, run_seed);
+  lane_rng_.reserve(num_processors);
+  for (std::size_t p = 0; p < num_processors; ++p)
+    lane_rng_.push_back(base.split(0x6e01 + p));
+}
+
+void FaultInjector::begin_period(int k) {
+  EUCON_REQUIRE(k == period_ + 1,
+                "begin_period must be called once per period, in order");
+  period_ = k;
+  forced_this_period_ = 0;
+  controller_down_ = false;
+  for (const ControllerBlackout& b : plan_.blackouts)
+    if (in_window(k, b.start, b.duration)) controller_down_ = true;
+
+  for (std::size_t p = 0; p < num_processors_; ++p) {
+    bool lost = false;
+    if (plan_.lane_loss.enabled()) {
+      // Fixed draw count per lane per period (one transition draw + one
+      // loss draw) keeps the stream independent of the realized states.
+      Rng& rng = lane_rng_[p];
+      const double transition = rng.next_double();
+      const double loss = rng.next_double();
+      if (ge_bad_[p] != 0) {
+        if (transition < plan_.lane_loss.p_exit) ge_bad_[p] = 0;
+      } else {
+        if (transition < plan_.lane_loss.p_enter) ge_bad_[p] = 1;
+      }
+      const double loss_prob = ge_bad_[p] != 0 ? plan_.lane_loss.loss_bad
+                                               : plan_.lane_loss.loss_good;
+      lost = loss < loss_prob;
+    }
+    for (const LaneOutage& o : plan_.lane_outages)
+      if (static_cast<std::size_t>(o.lane) == p &&
+          in_window(k, o.start, o.duration))
+        lost = true;
+    lane_lost_[p] = lost ? 1 : 0;
+    if (lost) {
+      ++forced_this_period_;
+      ++forced_total_;
+    }
+
+    bool act_lost = false;
+    if (plan_.actuation_loss > 0.0)
+      act_lost = actuation_rng_.next_double() < plan_.actuation_loss;
+    for (const ActuationOutage& o : plan_.actuation_outages)
+      if (static_cast<std::size_t>(o.processor) == p &&
+          in_window(k, o.start, o.duration))
+        act_lost = true;
+    actuation_lost_[p] = act_lost ? 1 : 0;
+
+    double extra = 0.0;
+    for (const OverloadSpike& s : plan_.overload_spikes)
+      if (static_cast<std::size_t>(s.processor) == p &&
+          in_window(k, s.start, s.duration))
+        extra += s.exec_units;
+    overload_[p] = extra;
+  }
+}
+
+bool FaultInjector::actuation_lost(std::size_t processor) const {
+  EUCON_REQUIRE(processor < num_processors_, "processor index out of range");
+  return actuation_lost_[processor] != 0;
+}
+
+double FaultInjector::overload_for(std::size_t processor) const {
+  EUCON_REQUIRE(processor < num_processors_, "processor index out of range");
+  return overload_[processor];
+}
+
+}  // namespace eucon::faults

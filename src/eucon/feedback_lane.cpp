@@ -1,34 +1,55 @@
 #include "eucon/feedback_lane.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace eucon {
 
 FeedbackLanes::FeedbackLanes(std::size_t num_processors,
                              double loss_probability, std::uint64_t seed)
+    : FeedbackLanes(linalg::Vector(num_processors, 0.0), loss_probability,
+                    seed) {}
+
+FeedbackLanes::FeedbackLanes(const linalg::Vector& initial_seen,
+                             double loss_probability, std::uint64_t seed)
     : loss_probability_(loss_probability),
       rng_(Rng(seed).split(0x10557).next_u64()),
-      last_(num_processors, 0.0) {
-  EUCON_REQUIRE(num_processors > 0, "lanes need at least one processor");
+      last_(initial_seen),
+      staleness_(initial_seen.size(), 0) {
+  EUCON_REQUIRE(initial_seen.size() > 0, "lanes need at least one processor");
   EUCON_REQUIRE(loss_probability >= 0.0 && loss_probability < 1.0,
                 "loss probability must be in [0, 1)");
 }
 
-linalg::Vector FeedbackLanes::deliver(const linalg::Vector& measured) {
+linalg::Vector FeedbackLanes::deliver(const linalg::Vector& measured,
+                                      const std::vector<unsigned char>* forced) {
   EUCON_REQUIRE(measured.size() == last_.size(), "measurement size mismatch");
+  EUCON_REQUIRE(forced == nullptr || forced->size() == last_.size(),
+                "forced-loss mask size mismatch");
   linalg::Vector seen = measured;
   last_period_losses_ = 0;
   for (std::size_t p = 0; p < seen.size(); ++p) {
-    if (loss_probability_ > 0.0 && rng_.next_double() < loss_probability_) {
+    bool lost = loss_probability_ > 0.0 && rng_.next_double() < loss_probability_;
+    if (forced != nullptr && (*forced)[p] != 0) lost = true;
+    if (lost) {
       seen[p] = last_[p];
       ++lost_;
       ++last_period_losses_;
+      ++staleness_[p];
     } else {
       ++delivered_;
+      staleness_[p] = 0;
     }
   }
   last_ = seen;
   return seen;
+}
+
+int FeedbackLanes::max_staleness() const {
+  int max = 0;
+  for (const int s : staleness_) max = std::max(max, s);
+  return max;
 }
 
 }  // namespace eucon

@@ -27,13 +27,26 @@ namespace eucon {
 class FeedbackLanes {
  public:
   // `loss_probability` applies independently per lane per period.
+  // Last-delivered values start at 0 ("no load reported yet") — kept for
+  // statistics tests that shadow the i.i.d. stream; run_experiment uses
+  // the overload below so a lost first report reads as the set point, not
+  // as an idle processor (the cold-start phantom-idle bug).
   FeedbackLanes(std::size_t num_processors, double loss_probability,
+                std::uint64_t seed);
+  // Same, but seeds the last-delivered values with `initial_seen`
+  // (typically the per-processor set points B_i).
+  FeedbackLanes(const linalg::Vector& initial_seen, double loss_probability,
                 std::uint64_t seed);
 
   // Passes one period's measurements through the lanes: entries whose lane
-  // drops this period are replaced by the lane's last delivered value
-  // (initially 0, i.e. "no load reported yet").
-  linalg::Vector deliver(const linalg::Vector& measured);
+  // drops this period are replaced by the lane's last delivered value.
+  // `forced` (optional, one flag per lane) marks lanes whose report is
+  // forcibly lost this period regardless of the i.i.d. draw — fault
+  // injection (see eucon/faults.h). The i.i.d. draw is consumed *before*
+  // the forced flag is applied so the random stream stays aligned with an
+  // unfaulted shadow instance.
+  linalg::Vector deliver(const linalg::Vector& measured,
+                         const std::vector<unsigned char>* forced = nullptr);
 
   std::uint64_t lost_reports() const { return lost_; }
   std::uint64_t delivered_reports() const { return delivered_; }
@@ -42,10 +55,16 @@ class FeedbackLanes {
   std::uint64_t last_period_losses() const { return last_period_losses_; }
   const linalg::Vector& last_delivered() const { return last_; }
 
+  // Consecutive losses per lane (reset to 0 each time a report arrives).
+  // The watchdog's staleness fallback keys off this (docs/robustness.md).
+  const std::vector<int>& staleness() const { return staleness_; }
+  int max_staleness() const;
+
  private:
   double loss_probability_;
   Rng rng_;
   linalg::Vector last_;
+  std::vector<int> staleness_;
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t last_period_losses_ = 0;

@@ -10,7 +10,8 @@ namespace eucon {
 ReplicatedResult run_replicated(const ExperimentConfig& config, int replicas,
                                 std::uint64_t seed0, std::size_t from,
                                 std::size_t to) {
-  EUCON_REQUIRE(replicas >= 2, "replication needs at least two runs");
+  EUCON_REQUIRE(valid_replica_count(replicas),
+                "replication needs at least two runs");
   const std::size_t n = static_cast<std::size_t>(config.spec.num_processors);
 
   std::vector<RunningStats> means(n), sds(n);

@@ -33,6 +33,12 @@ struct ReplicatedResult {
   double mean_subtask_miss = 0.0;
 };
 
+// Statistics over fewer than two replicas are meaningless (the CI half-width
+// divides by replicas - 1). run_replicated EUCON_REQUIREs this; callers with
+// user-supplied counts (tools/eucon_sim --replicas) should check first and
+// report a friendly one-line error instead of the requirement's file:line.
+inline bool valid_replica_count(int replicas) { return replicas >= 2; }
+
 // Runs `replicas` copies of `config` with seeds seed0, seed0+1, … and
 // aggregates the steady-state window [from, to) (to = 0 -> end of trace).
 ReplicatedResult run_replicated(const ExperimentConfig& config, int replicas,

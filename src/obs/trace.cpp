@@ -112,6 +112,17 @@ std::string to_jsonl(const PeriodRecord& rec) {
     append_index_array(line, rec.qp_active_set);
     line += '}';
   }
+  if (rec.faults_active) {
+    line += ",\"faults\":{\"mode\":";
+    append_json_string(line, rec.fault_mode);
+    line += ",\"forced\":" + std::to_string(rec.forced_losses);
+    line += ",\"act_lost\":" + std::to_string(rec.actuation_lost);
+    line += ",\"overload\":" + std::to_string(rec.overload_injections);
+    line += ",\"tracked\":" + std::to_string(rec.tracked_processors);
+    line += ",\"stale\":";
+    append_index_array(line, rec.staleness);
+    line += '}';
+  }
   line += '}';
   return line;
 }
@@ -125,6 +136,16 @@ std::string to_jsonl(const RunSummary& summary) {
   line += ",\"fast_path_hits\":" + std::to_string(summary.qp_fast_path_hits);
   line += ",\"stalls\":" + std::to_string(summary.release_guard_stalls);
   line += ",\"jobs_released\":" + std::to_string(summary.jobs_released);
+  if (summary.faults_active) {
+    line += ",\"faults\":{\"forced\":" + std::to_string(summary.forced_losses);
+    line += ",\"act_lost\":" + std::to_string(summary.actuation_lost);
+    line += ",\"overload\":" + std::to_string(summary.overload_injections);
+    line += ",\"blackout\":" + std::to_string(summary.blackout_periods);
+    line += ",\"stale_drops\":" + std::to_string(summary.stale_drops);
+    line += ",\"stale_restores\":" + std::to_string(summary.stale_restores);
+    line += ",\"max_stale\":" + std::to_string(summary.max_staleness);
+    line += '}';
+  }
   line += '}';
   return line;
 }

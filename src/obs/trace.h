@@ -49,6 +49,17 @@ struct PeriodRecord {
   bool qp_fallback = false;    // infeasible instance: util rows dropped
   std::string qp_status;       // "optimal" | "infeasible" | "max_iterations"
   std::vector<std::size_t> qp_active_set;  // final working-set row indices
+
+  // Fault-injection fields (eucon/faults.h). Emitted only when
+  // faults_active is set, so unfaulted traces — including the pre-existing
+  // golden files — keep their exact bytes.
+  bool faults_active = false;
+  std::string fault_mode;                  // "normal" | "blackout"
+  std::uint64_t forced_losses = 0;         // injector-forced lane losses
+  std::uint64_t actuation_lost = 0;        // rate commands dropped this period
+  std::uint64_t overload_injections = 0;   // overload spikes applied
+  int tracked_processors = 0;              // size of the MPC tracked set
+  std::vector<std::size_t> staleness;      // consecutive losses per lane
 };
 
 // Monotone totals at the end of a run; the invariant tests check these
@@ -61,6 +72,16 @@ struct RunSummary {
   std::uint64_t qp_fast_path_hits = 0;
   std::uint64_t release_guard_stalls = 0;
   std::uint64_t jobs_released = 0;
+
+  // Fault totals; emitted only when faults_active is set (see PeriodRecord).
+  bool faults_active = false;
+  std::uint64_t forced_losses = 0;
+  std::uint64_t actuation_lost = 0;
+  std::uint64_t overload_injections = 0;
+  std::uint64_t blackout_periods = 0;
+  std::uint64_t stale_drops = 0;     // processors dropped from the tracked set
+  std::uint64_t stale_restores = 0;  // processors restored after a report
+  int max_staleness = 0;             // worst consecutive-loss streak of the run
 };
 
 // The JSONL encoders, exposed so tests can render records exactly as the

@@ -1,6 +1,7 @@
 // Failure injection: lossy feedback lanes and task suspension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "eucon/eucon.h"
@@ -127,6 +128,67 @@ TEST(FaultsTest, UnknownTaskIndexRejected) {
   rts::Simulator sim(workloads::simple(), rts::SimOptions{});
   EXPECT_THROW(sim.set_task_enabled(5, false), std::invalid_argument);
   EXPECT_THROW(sim.task_enabled(-1), std::invalid_argument);
+}
+
+TEST(FaultsTest, GilbertElliottMatchesStationaryLossClosedForm) {
+  faults::FaultPlan plan;
+  plan.lane_loss = {0.05, 0.25, 0.02, 0.8};
+  const std::size_t lanes = 4;
+  const int periods = 5000;
+  faults::FaultInjector inj(plan, lanes, 99);
+  for (int k = 1; k <= periods; ++k) inj.begin_period(k);
+
+  const double n = static_cast<double>(lanes) * periods;
+  const double p = plan.lane_loss.stationary_loss();
+  EXPECT_NEAR(p, 0.15, 1e-12);  // (5/6)*0.02 + (1/6)*0.8
+  // The chain correlates successive periods (lag-one correlation
+  // rho = 1 - p_enter - p_exit > 0 here), which inflates the binomial
+  // variance by at most (1 + rho) / (1 - rho); a 6-sigma band on that
+  // upper bound only fails on a broken chain, never on an unlucky seed.
+  const double rho = 1.0 - plan.lane_loss.p_enter - plan.lane_loss.p_exit;
+  const double sigma =
+      std::sqrt(n * p * (1.0 - p) * (1.0 + rho) / (1.0 - rho));
+  EXPECT_NEAR(static_cast<double>(inj.forced_losses_total()), n * p,
+              6.0 * sigma);
+}
+
+TEST(FaultsTest, ScriptedOutageForcesExactLossCount) {
+  ExperimentConfig cfg = base_config();
+  cfg.faults.lane_outages.push_back({0, 5, 10});  // lane 0 down, k = 5..14
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_EQ(res.forced_losses, 10u);
+  EXPECT_EQ(res.lost_reports, 10u);  // no i.i.d. loss on top
+  EXPECT_EQ(res.max_staleness, 10);
+}
+
+TEST(FaultsTest, ColdStartLossHoldsRatesAtSetPoint) {
+  // Regression for the cold-start phantom-idle bug: losing every report in
+  // the very first period must not move the rates. The lanes now seed
+  // "last delivered" with the set points, so a period-1 loss reads as "on
+  // target" and the MPC commands no change.
+  ExperimentConfig cfg = base_config();
+  cfg.num_periods = 3;
+  for (int p = 0; p < cfg.spec.num_processors; ++p)
+    cfg.faults.lane_outages.push_back({p, 1, 1});
+  const ExperimentResult res = run_experiment(cfg);
+
+  const linalg::Vector r0 = cfg.spec.initial_rate_vector();
+  double delta = 0.0;
+  for (std::size_t j = 0; j < r0.size(); ++j)
+    delta = std::max(delta, std::abs(res.trace[0].rates[j] - r0[j]));
+  EXPECT_LT(delta, 1e-9);
+
+  // The old initialization (last delivered = 0) reported phantom-idle
+  // processors and slammed the rates upward — keep that failure mode
+  // pinned via the lane_initial override.
+  ExperimentConfig old = cfg;
+  old.lane_initial =
+      linalg::Vector(static_cast<std::size_t>(cfg.spec.num_processors), 0.0);
+  const ExperimentResult bug = run_experiment(old);
+  double raised = 0.0;
+  for (std::size_t j = 0; j < r0.size(); ++j)
+    raised = std::max(raised, bug.trace[0].rates[j] - r0[j]);
+  EXPECT_GT(raised, 1e-3);
 }
 
 }  // namespace

@@ -52,6 +52,52 @@ TEST(FeedbackLanesTest, DeterministicPerSeed) {
   EXPECT_EQ(a.lost_reports(), b.lost_reports());
 }
 
+TEST(FeedbackLanesTest, InitialSeenReportsSetPointOnEarlyLoss) {
+  // The cold-start fix: seeded with the set points, a lost first report
+  // reads as "on target" instead of "idle" (see docs/robustness.md).
+  FeedbackLanes lanes(Vector{0.58, 0.73}, 0.0, 3);
+  std::vector<unsigned char> forced = {1, 1};
+  const Vector seen = lanes.deliver(Vector{0.2, 0.9}, &forced);
+  EXPECT_DOUBLE_EQ(seen[0], 0.58);
+  EXPECT_DOUBLE_EQ(seen[1], 0.73);
+  EXPECT_EQ(lanes.lost_reports(), 2u);
+}
+
+TEST(FeedbackLanesTest, StalenessCountsConsecutiveLosses) {
+  FeedbackLanes lanes(2, 0.0, 5);
+  std::vector<unsigned char> lose_first = {1, 0};
+  ASSERT_EQ(lanes.staleness(), (std::vector<int>{0, 0}));
+  (void)lanes.deliver(Vector{0.1, 0.2}, &lose_first);
+  (void)lanes.deliver(Vector{0.3, 0.4}, &lose_first);
+  EXPECT_EQ(lanes.staleness(), (std::vector<int>{2, 0}));
+  EXPECT_EQ(lanes.max_staleness(), 2);
+  (void)lanes.deliver(Vector{0.5, 0.6});  // delivery resets the streak
+  EXPECT_EQ(lanes.staleness(), (std::vector<int>{0, 0}));
+  EXPECT_EQ(lanes.max_staleness(), 0);
+}
+
+TEST(FeedbackLanesTest, ForcedMaskDoesNotShiftIidStream) {
+  // The i.i.d. draw is consumed before the forced flag is applied, so a
+  // shadow instance with the same seed and no forcing sees the identical
+  // loss outcomes on every unforced (lane, period).
+  FeedbackLanes forced_lanes(2, 0.3, 17), shadow(2, 0.3, 17);
+  const Vector u{0.4, 0.6};
+  for (int k = 0; k < 200; ++k) {
+    std::vector<unsigned char> forced = {
+        static_cast<unsigned char>(k % 7 == 0), 0};
+    std::vector<int> before = forced_lanes.staleness();
+    std::vector<int> shadow_before = shadow.staleness();
+    (void)forced_lanes.deliver(u, &forced);
+    (void)shadow.deliver(u);
+    for (std::size_t p = 0; p < 2; ++p) {
+      if (forced[p] != 0) continue;
+      const bool lost = forced_lanes.staleness()[p] > before[p];
+      const bool shadow_lost = shadow.staleness()[p] > shadow_before[p];
+      EXPECT_EQ(lost, shadow_lost) << "k=" << k << " lane " << p;
+    }
+  }
+}
+
 TEST(FeedbackLanesTest, RejectsBadArguments) {
   EXPECT_THROW(FeedbackLanes(0, 0.0, 1), std::invalid_argument);
   EXPECT_THROW(FeedbackLanes(2, 1.0, 1), std::invalid_argument);

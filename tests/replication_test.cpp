@@ -50,6 +50,27 @@ TEST(ReplicationTest, DeadlineAveragesReported) {
 
 TEST(ReplicationTest, NeedsAtLeastTwoReplicas) {
   EXPECT_THROW(run_replicated(base_config(), 1), std::invalid_argument);
+  EXPECT_THROW(run_replicated(base_config(), 0), std::invalid_argument);
+  EXPECT_THROW(run_replicated(base_config(), -3), std::invalid_argument);
+}
+
+TEST(ReplicationTest, ValidReplicaCountBoundary) {
+  // The CLI (--replicas) checks this predicate up front so a bad count is
+  // a one-line usage error, not an EUCON_REQUIRE abort with file:line.
+  EXPECT_TRUE(valid_replica_count(2));
+  EXPECT_TRUE(valid_replica_count(100));
+  EXPECT_FALSE(valid_replica_count(1));
+  EXPECT_FALSE(valid_replica_count(0));
+  EXPECT_FALSE(valid_replica_count(-1));
+}
+
+TEST(ReplicationTest, TwoReplicasIsAccepted) {
+  ExperimentConfig cfg = base_config();
+  cfg.num_periods = 40;
+  const ReplicatedResult res = run_replicated(cfg, 2, 1, 20);
+  ASSERT_EQ(res.per_processor.size(), 2u);
+  EXPECT_EQ(res.per_processor[0].replicas, 2u);
+  EXPECT_GE(res.per_processor[0].max_mean, res.per_processor[0].min_mean);
 }
 
 TEST(ReplicationTest, DifferentSeedsActuallyDiffer) {

@@ -26,16 +26,40 @@ struct GoldenCase {
   double loss;
   int periods;
   std::uint64_t seed;
+  // Fault-injection cases (docs/robustness.md): a JSON fault plan plus the
+  // watchdog configuration. Null plan = clean run.
+  const char* faults_json = nullptr;
+  const char* degrade = nullptr;
+  int stale_limit = 0;
 };
+
+// A compressed version of the blackout_demo scenario with every fault
+// source live, so the faulted trace encoding (per-period "faults" blocks,
+// summary totals) is byte-pinned alongside the clean cases.
+const char* const kFaultPlanJson = R"({
+  "seed": 7,
+  "gilbert_elliott": {"p_enter": 0.05, "p_exit": 0.3,
+                      "loss_good": 0.01, "loss_bad": 0.9},
+  "actuation_loss": 0.1,
+  "actuation_delay": 1,
+  "lane_outages": [{"lane": 0, "start": 5, "duration": 12}],
+  "actuation_outages": [{"processor": 1, "start": 8, "duration": 4}],
+  "overload_spikes": [{"processor": 2, "start": 15, "duration": 5,
+                       "exec": 30.0}],
+  "controller_blackouts": [{"start": 25, "duration": 6}]
+})";
 
 // The paper's two ends of the gain axis on SIMPLE (g = etf; g = 1 is the
 // stable nominal point, g = 7 is far past the critical gain and keeps the
-// loop saturated), plus MEDIUM with lossy feedback lanes so the staleness
-// path is pinned too.
+// loop saturated), MEDIUM with lossy feedback lanes so the staleness path
+// is pinned too, and MEDIUM under the full fault plan with the hold-rates
+// watchdog so every degradation code path is byte-pinned.
 const GoldenCase kCases[] = {
     {"simple_g1", false, 1.0, 0.1, 0.0, 60, 20260805},
     {"simple_g7", false, 7.0, 0.1, 0.0, 60, 20260805},
     {"medium_loss", true, 0.8, 0.2, 0.1, 50, 77},
+    {"medium_fault", true, 0.8, 0.2, 0.1, 50, 77, kFaultPlanJson,
+     "hold-rates", 3},
 };
 
 ExperimentConfig make_config(const GoldenCase& c) {
@@ -49,6 +73,11 @@ ExperimentConfig make_config(const GoldenCase& c) {
   cfg.report_loss_probability = c.loss;
   cfg.num_periods = c.periods;
   cfg.run_name = c.name;
+  if (c.faults_json != nullptr)
+    cfg.faults = faults::parse_fault_plan(c.faults_json);
+  if (c.degrade != nullptr)
+    cfg.degrade.policy = faults::parse_degrade_policy(c.degrade);
+  cfg.degrade.stale_limit = c.stale_limit;
   return cfg;
 }
 

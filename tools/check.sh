@@ -11,6 +11,11 @@
 #                  concurrency-focused subset: thread-pool tests, batch
 #                  engine determinism tests, the obs registry/trace
 #                  determinism tests, and the bench_perf smoke run
+#   faults         (opt-in via --faults) the fault-injection/degradation
+#                  suite — fault plans, the watchdog, lane staleness, the
+#                  faulted goldens and batch determinism — under both
+#                  asan-ubsan and tsan (the faulted serial-vs-pooled check
+#                  runs with real pool workers)
 #   coverage       -DEUCON_COVERAGE=ON (opt-in via --coverage): Debug build
 #                  with gcc --coverage, full ctest run, then
 #                  tools/coverage_report.py gates aggregate src/ line
@@ -26,6 +31,7 @@
 #   tools/check.sh             # lint + default + asan-ubsan + numeric
 #   tools/check.sh --fast      # lint + default preset only
 #   tools/check.sh --tsan      # also run the thread-sanitizer preset
+#   tools/check.sh --faults    # fault/degradation suite under ASan/UBSan + TSan
 #   tools/check.sh --coverage  # coverage preset + line-coverage gate only
 #   tools/check.sh --lint      # lint gate + clang thread-safety build only
 #   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
@@ -133,6 +139,19 @@ run_tidy() {
   echo "=== [tidy] OK ==="
 }
 
+# The fault-injection/degradation surface: plan parsing and the injector
+# state machine, the watchdog and staleness fallback, the lane/statistics
+# tests, the faulted golden trace, the faulted serial-vs-pooled batch
+# check, and the CLI entry points.
+FAULT_TESTS='FaultPlanTest|DegradationTest|FaultsTest|FeedbackLanesTest'
+FAULT_TESTS+='|TraceGoldenTest|ReplicationTest|cli_faulted_demo'
+FAULT_TESTS+='|cli_rejects_bad_replicas'
+run_faults() {
+  configure_build_test asan-ubsan --tests "$FAULT_TESTS" \
+    "-DEUCON_SANITIZE=address;undefined"
+  configure_build_test tsan --tests "$FAULT_TESTS" -DEUCON_SANITIZE=thread
+}
+
 MODE="all"
 TSAN=0
 for arg in "$@"; do
@@ -141,9 +160,10 @@ for arg in "$@"; do
     --lint) MODE="lint" ;;
     --tidy) MODE="tidy" ;;
     --coverage) MODE="coverage" ;;
+    --faults) MODE="faults" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
-      sed -n '2,24p' "$0"
+      sed -n '2,37p' "$0"
       exit 0
       ;;
     *)
@@ -163,6 +183,9 @@ case "$MODE" in
     ;;
   coverage)
     run_coverage
+    ;;
+  faults)
+    run_faults
     ;;
   fast)
     run_lint

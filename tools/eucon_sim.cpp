@@ -44,6 +44,15 @@ using namespace eucon;
                "  --set-points a,b,...      override the Liu-Layland set points\n"
                "  --loss P                  report-loss probability on the lanes\n"
                "  --lane-delay X            feedback-lane delay in time units\n"
+               "  --faults FILE             JSON fault plan (docs/robustness.md):\n"
+               "                            lane bursts, actuation loss/delay,\n"
+               "                            overload spikes, controller blackouts\n"
+               "  --degrade POLICY          blackout watchdog policy: none,\n"
+               "                            hold-rates, open-loop, decentralized\n"
+               "  --stale-limit N           drop a lane from the MPC tracked set\n"
+               "                            after N consecutive lost reports\n"
+               "  --replicas N              run N replicas (seeds seed, seed+1, ...)\n"
+               "                            and print aggregate statistics\n"
                "  --admission               enable the admission governor\n"
                "  --reallocation            enable the reallocation planner\n"
                "  --trace-out FILE          write the execution trace as CSV\n"
@@ -92,9 +101,10 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   std::string workload = "simple";
   std::optional<std::string> spec_file;
-  std::string trace_out, out_prefix, trace_jsonl;
+  std::string trace_out, out_prefix, trace_jsonl, faults_file;
   bool quiet = false, summary = false, diagnose = false;
   bool print_metrics = false;
+  int replicas = 0;  // 0 = single run
   cfg.sim.jitter = 0.1;
   cfg.sim.seed = 1;
 
@@ -195,6 +205,28 @@ int main(int argc, char** argv) {
     } else if (flag == "--lane-delay") {
       cfg.sim.feedback_lane_delay =
           parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--faults") {
+      faults_file = next_value(i);
+    } else if (flag == "--degrade") {
+      const std::string p = next_value(i);
+      try {
+        cfg.degrade.policy = faults::parse_degrade_policy(p);
+      } catch (const std::exception& e) {
+        usage(argv[0], e.what());
+      }
+    } else if (flag == "--stale-limit") {
+      cfg.degrade.stale_limit =
+          static_cast<int>(parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--replicas") {
+      replicas = static_cast<int>(parse_double(argv[0], flag, next_value(i)));
+      // Validated up front with a one-line error (not the EUCON_REQUIRE
+      // file:line dump run_replicated would produce).
+      if (!valid_replica_count(replicas)) {
+        std::fprintf(stderr,
+                     "error: --replicas needs at least 2 runs, got %d\n",
+                     replicas);
+        return 2;
+      }
     } else if (flag == "--admission") {
       cfg.enable_admission_control = true;
     } else if (flag == "--reallocation") {
@@ -240,6 +272,8 @@ int main(int argc, char** argv) {
       usage(argv[0], "unknown workload: " + workload);
     }
     if (spec_file) cfg.mpc = workloads::medium_controller_params();
+    if (!faults_file.empty())
+      cfg.faults = faults::load_fault_plan_file(faults_file);
 
     if (diagnose) {
       const auto model = control::make_plant_model(cfg.spec, cfg.set_points);
@@ -248,6 +282,26 @@ int main(int argc, char** argv) {
     }
 
     cfg.run_name = spec_file ? *spec_file : workload;
+
+    if (replicas >= 2) {
+      // Replicated mode: aggregate statistics only (per-run traces would
+      // need per-run sinks; use run_batch with trace_dir for that).
+      const ReplicatedResult rep = run_replicated(cfg, replicas, cfg.sim.seed);
+      std::printf("# controller: %s, replicas: %d\n",
+                  controller_kind_name(cfg.controller), replicas);
+      for (std::size_t p = 0; p < rep.per_processor.size(); ++p) {
+        const ReplicatedStats& s = rep.per_processor[p];
+        std::printf(
+            "# P%zu: mean %.4f +-%.4f (95%% CI) sigma %.4f range "
+            "[%.4f, %.4f] acceptable %zu/%zu\n",
+            p + 1, s.mean_of_means, s.ci95_halfwidth, s.mean_of_stddevs,
+            s.min_mean, s.max_mean, s.acceptable_runs, s.replicas);
+      }
+      std::printf("# mean e2e miss: %.4f, mean subtask miss: %.4f\n",
+                  rep.mean_e2e_miss, rep.mean_subtask_miss);
+      return 0;
+    }
+
     obs::Registry registry;
     if (print_metrics) cfg.metrics = &registry;
     std::unique_ptr<obs::FileSink> trace_sink;
@@ -301,6 +355,22 @@ int main(int argc, char** argv) {
       if (cfg.enable_reallocation)
         std::printf("# reallocations executed: %zu\n",
                     res.reallocations.size());
+      if (!cfg.faults.empty() || cfg.degrade.enabled()) {
+        std::printf(
+            "# faults: forced losses %llu, actuation lost %llu, "
+            "overload injections %llu, blackout periods %llu\n",
+            static_cast<unsigned long long>(res.forced_losses),
+            static_cast<unsigned long long>(res.actuation_lost_commands),
+            static_cast<unsigned long long>(res.overload_injections),
+            static_cast<unsigned long long>(res.blackout_periods));
+        std::printf(
+            "# degradation: policy %s, stale drops %llu, restores %llu, "
+            "max staleness %d\n",
+            faults::degrade_policy_name(cfg.degrade.policy),
+            static_cast<unsigned long long>(res.stale_drops),
+            static_cast<unsigned long long>(res.stale_restores),
+            res.max_staleness);
+      }
     }
 
     if (!out_prefix.empty()) {

@@ -2,8 +2,8 @@
 # regen_golden.sh — regenerate the golden JSONL traces in tests/golden/.
 #
 # The golden-trace regression suite (tests/trace_golden_test.cpp) byte-
-# compares the traces of three pinned configurations against the files
-# checked in under tests/golden/. After an *intentional* behavior change —
+# compares the traces of the pinned configurations (clean and faulted)
+# against the files checked in under tests/golden/. After an *intentional* behavior change —
 # controller tuning, simulator semantics, trace schema — run this script,
 # review `git diff tests/golden/` like any other code change, and commit
 # the new files together with the change that caused them.
