@@ -100,6 +100,40 @@ bool load_baseline(const fs::path& path, Baseline& out, std::string& error) {
   return parse_baseline(buf.str(), out, error);
 }
 
+fs::path find_repo_root(const fs::path& start) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(start, ec);
+  if (ec) return {};
+  dir = dir.lexically_normal();
+  if (!fs::is_directory(dir, ec)) dir = dir.parent_path();
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    if (fs::exists(dir / ".git", ec)) return dir;
+    if (dir == dir.root_path()) break;
+  }
+  return {};
+}
+
+void normalize_paths(std::vector<Finding>& findings) {
+  // Root discovery walks the filesystem once per distinct parent directory.
+  std::map<std::string, fs::path> root_cache;
+  for (Finding& f : findings) {
+    std::error_code ec;
+    fs::path abs = fs::absolute(fs::path(f.file), ec);
+    if (ec) continue;
+    abs = abs.lexically_normal();
+    const std::string parent = abs.parent_path().string();
+    auto it = root_cache.find(parent);
+    if (it == root_cache.end())
+      it = root_cache.emplace(parent, find_repo_root(abs.parent_path())).first;
+    const fs::path& root = it->second;
+    if (!root.empty()) {
+      f.file = abs.lexically_relative(root).generic_string();
+    } else {
+      f.file = fs::path(f.file).lexically_normal().generic_string();
+    }
+  }
+}
+
 std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
                                     Baseline baseline,
                                     std::size_t& suppressed) {
@@ -108,9 +142,13 @@ std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
   kept.reserve(findings.size());
   for (const Finding& f : findings) {
     const std::string base = fs::path(f.file).filename().string();
+    const std::string full = fs::path(f.file).generic_string();
     bool absorbed = false;
     for (BaselineEntry& e : baseline.entries) {
-      if (e.filename != base || e.rule != f.rule) continue;
+      const bool by_path = e.filename.find('/') != std::string::npos;
+      if ((by_path ? e.filename != full : e.filename != base) ||
+          e.rule != f.rule)
+        continue;
       if (e.max_count == 0) continue;  // exhausted
       if (e.max_count > 0) --e.max_count;
       absorbed = true;

@@ -6,12 +6,15 @@
 //
 //   <filename>:<rule>[:<max-count>]
 //
-// `filename` is the file's basename (so the baseline is layout-independent),
-// `rule` must exist in the registry (a typo is a load error, not a silent
-// no-op), and `max-count` caps how many findings the entry may absorb —
-// omitted means unlimited. The repo gate ships an EMPTY baseline
-// (tools/lint_baseline.txt); the file exists so a future regression can be
-// ratcheted down deliberately instead of blocking unrelated work.
+// `filename` is either the file's basename (layout-independent) or — when
+// it contains a '/' — a repo-root-relative path such as src/qp/lsqlin.cpp,
+// matched against the finding's normalized path so same-named files in
+// different directories can be baselined independently. `rule` must exist
+// in the registry (a typo is a load error, not a silent no-op), and
+// `max-count` caps how many findings the entry may absorb — omitted means
+// unlimited. The repo gate ships an EMPTY baseline (tools/lint_baseline.txt);
+// the file exists so a future regression can be ratcheted down deliberately
+// instead of blocking unrelated work.
 #pragma once
 
 #include <filesystem>
@@ -23,7 +26,9 @@
 namespace eucon::analysis {
 
 struct BaselineEntry {
-  std::string filename;  // basename, matched against each finding's file
+  // Basename, or (when it contains '/') a repo-root-relative path; matched
+  // against each finding's file per the header comment.
+  std::string filename;
   std::string rule;
   long max_count = -1;  // -1: unlimited
 };
@@ -40,8 +45,22 @@ bool parse_baseline(const std::string& text, Baseline& out, std::string& error);
 bool load_baseline(const std::filesystem::path& path, Baseline& out,
                    std::string& error);
 
+// Finds the enclosing repository root: the nearest ancestor of `start`
+// (made absolute first) that contains a `.git` entry. Empty when none.
+std::filesystem::path find_repo_root(const std::filesystem::path& start);
+
+// Rewrites each finding's file to a repo-root-relative generic path ('/'
+// separators) so reports and baselines are independent of the invocation
+// directory: absolute paths and cwd-relative paths to the same file render
+// identically. Each finding's root is discovered from its own location
+// (cached per directory); findings outside any repository keep their
+// original path, lexically normalized.
+void normalize_paths(std::vector<Finding>& findings);
+
 // Splits findings into kept (returned) and absorbed (counted); entries
-// absorb findings in order until their max_count is exhausted.
+// absorb findings in order until their max_count is exhausted. Entries
+// containing '/' match the finding's full (normalized) path, other entries
+// match its basename.
 std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
                                     Baseline baseline,
                                     std::size_t& suppressed);

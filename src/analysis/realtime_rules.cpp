@@ -1,0 +1,114 @@
+// The real-time rule family: allocation-in-realtime, blocking-in-realtime,
+// nondeterminism-in-realtime.
+//
+// CallGraphExtractor (callgraph.cpp) already recorded each function's
+// direct violations; this file implements the propagation policy. For
+// every EUCON_REALTIME root and every category, a breadth-first walk over
+// the resolved call edges collects each reachable violation together with
+// the call chain that reaches it. An EUCON_*_OK escape hatch on a function
+// excuses that category for the function AND for everything reached
+// through it (the hatch is a trust boundary, so the walk does not enter);
+// a hatch on the root itself silences the whole category for that root.
+//
+// Findings land on the offending site (not the root), so a shared helper
+// that several roots reach is reported once — the first root in qualified-
+// name order claims it, and the usual line-level suppression comment on
+// the offending line suppresses it exactly like any intra-function rule.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+
+namespace eucon::analysis {
+
+namespace {
+
+// Qualified names make good diagnostics but long chains; drop a shared
+// leading namespace ("eucon::control::MpcController::update" renders as
+// "MpcController::update") while keeping class context.
+std::string display_name(const std::string& qname) {
+  std::size_t pos = qname.rfind("::");
+  if (pos == std::string::npos || pos == 0) return qname;
+  pos = qname.rfind("::", pos - 1);
+  return pos == std::string::npos ? qname : qname.substr(pos + 2);
+}
+
+}  // namespace
+
+std::vector<Finding> CallGraph::check_realtime() const {
+  std::vector<Finding> findings;
+
+  // Roots in qualified-name order so output (and the cross-root dedup
+  // winner) is deterministic regardless of add_file order.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    if (functions_[i].realtime) roots.push_back(i);
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    return functions_[a].qname < functions_[b].qname;
+  });
+
+  // (category, file, line, col, what) already reported by an earlier root.
+  std::set<std::string> reported;
+
+  for (const std::size_t root : roots) {
+    for (int cat = 0; cat < kRtCategoryCount; ++cat) {
+      const RtCategory category = static_cast<RtCategory>(cat);
+      const std::string rule = rt_rule_name(category);
+      if (functions_[root].ok[cat]) continue;  // hatched at the root
+
+      // BFS with a parent map for chain reconstruction.
+      std::map<std::size_t, std::size_t> parent;
+      std::vector<std::size_t> queue = {root};
+      std::set<std::size_t> visited = {root};
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::size_t idx = queue[head];
+        const CgFunction& fn = functions_[idx];
+
+        for (const CgViolation& v : fn.violations) {
+          if (v.category != category) continue;
+          // Line-level allow() suppression, same semantics as
+          // FileContext::report.
+          const auto file_it = allowed_.find(v.file);
+          if (file_it != allowed_.end()) {
+            const auto line_it = file_it->second.find(v.line);
+            if (line_it != file_it->second.end() &&
+                line_it->second.count(rule))
+              continue;
+          }
+          const std::string key = rule + '\x1f' + v.file + '\x1f' +
+                                  std::to_string(v.line) + '\x1f' +
+                                  std::to_string(v.col) + '\x1f' + v.what;
+          if (!reported.insert(key).second) continue;
+
+          std::string chain = display_name(fn.qname);
+          for (std::size_t node = idx; node != root;) {
+            node = parent.at(node);
+            chain = display_name(functions_[node].qname) + " -> " + chain;
+          }
+          findings.push_back(
+              {v.file, v.line, v.col, rule,
+               "'" + v.what + "' " + v.detail + " on the EUCON_REALTIME path " +
+                   chain + "; fix it, hatch the callee with EUCON_" +
+                   (category == RtCategory::kAlloc
+                        ? "ALLOC"
+                        : category == RtCategory::kBlock ? "BLOCK" : "NONDET") +
+                   "_OK(\"why\"), or allow(" + rule + ") the line"});
+        }
+
+        for (const std::size_t callee : fn.callees) {
+          if (visited.count(callee)) continue;
+          if (functions_[callee].ok[cat]) continue;  // trust boundary
+          visited.insert(callee);
+          parent[callee] = idx;
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace eucon::analysis

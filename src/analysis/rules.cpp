@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/callgraph.h"
+
 namespace fs = std::filesystem;
 
 namespace eucon::analysis {
@@ -30,6 +32,12 @@ const std::vector<RuleInfo> kRegistry = {
      "blocking call (.get()/wait()/sleep_for) inside a pooled task lambda"},
     {"nondeterministic-parallel",
      "shared/static RNG state or std::random_device; derive per-run streams"},
+    {"allocation-in-realtime",
+     "heap allocation reachable from an EUCON_REALTIME function"},
+    {"blocking-in-realtime",
+     "lock/wait/sleep/IO/throw reachable from an EUCON_REALTIME function"},
+    {"nondeterminism-in-realtime",
+     "rand/time/clock read reachable from an EUCON_REALTIME function"},
 };
 
 // Parses one comment token's suppression markers — e.g.
@@ -146,6 +154,62 @@ std::string read_file_or_empty(const fs::path& p) {
   return buf.str();
 }
 
+// Feeds one already-built context into the interprocedural graph, plus the
+// companion header's tokens when supplied. The companion's allow() comments
+// are parsed silently (its own lint pass reports unknown-suppression when
+// the header is linted as a file in its own right).
+void feed_graph(CallGraph& graph, const FileContext& ctx,
+                const std::string& companion_display,
+                const std::string& companion_content) {
+  graph.add_file(ctx.file, ctx.code, ctx.allowed);
+  if (companion_content.empty() || graph.has_file(companion_display)) return;
+  std::vector<Finding> scratch;
+  FileContext hdr;
+  hdr.file = companion_display;
+  hdr.findings = &scratch;
+  std::vector<Token> code;
+  for (Token& t : tokenize(companion_content)) {
+    if (t.kind == TokenKind::kComment)
+      parse_suppressions(t, hdr);
+    else
+      code.push_back(std::move(t));
+  }
+  graph.add_file(companion_display, code, hdr.allowed);
+}
+
+// Finds the same-directory companion header of a .cpp, if any.
+fs::path companion_path(const fs::path& path) {
+  for (const char* ext : {".h", ".hpp"}) {
+    fs::path sibling = path;
+    sibling.replace_extension(ext);
+    if (fs::exists(sibling)) return sibling;
+  }
+  return {};
+}
+
+// Lints one file into `findings` and feeds the shared call graph.
+void lint_one(const fs::path& path, std::vector<Finding>& findings,
+              CallGraph& graph) {
+  std::ifstream probe(path);
+  if (!probe) {
+    findings.push_back({path.string(), 0, 0, "io-error", "cannot open file"});
+    return;
+  }
+  std::string companion;
+  fs::path companion_file;
+  if (!header_ext(path)) {
+    // A .cpp sees the lock discipline its same-directory header declares.
+    companion_file = companion_path(path);
+    if (!companion_file.empty()) companion = read_file_or_empty(companion_file);
+  }
+  FileContext ctx =
+      make_context(path.string(), read_file_or_empty(path), companion,
+                   findings);
+  run_style_rules(ctx);
+  run_concurrency_rules(ctx);
+  feed_graph(graph, ctx, companion_file.string(), companion);
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_registry() { return kRegistry; }
@@ -171,38 +235,44 @@ std::vector<Finding> lint_source(const std::string& display_path,
       make_context(display_path, content, companion_header, findings);
   run_style_rules(ctx);
   run_concurrency_rules(ctx);
+  // Single-TU interprocedural pass: the companion header contributes its
+  // declarations/annotations to the graph under a synthesized .h path.
+  CallGraph graph;
+  fs::path companion_display(display_path);
+  companion_display.replace_extension(".h");
+  feed_graph(graph, ctx, companion_display.string(), companion_header);
+  graph.finalize();
+  std::vector<Finding> rt = graph.check_realtime();
+  findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
+                  std::make_move_iterator(rt.end()));
   return findings;
 }
 
 std::vector<Finding> lint_file(const fs::path& path) {
-  std::ifstream probe(path);
-  if (!probe)
-    return {{path.string(), 0, 0, "io-error", "cannot open file"}};
-  std::string companion;
-  if (!header_ext(path)) {
-    // A .cpp sees the lock discipline its same-directory header declares.
-    for (const char* ext : {".h", ".hpp"}) {
-      fs::path sibling = path;
-      sibling.replace_extension(ext);
-      if (fs::exists(sibling)) {
-        companion = read_file_or_empty(sibling);
-        break;
-      }
-    }
-  }
-  return lint_source(path.string(), read_file_or_empty(path), companion);
+  std::vector<Finding> findings;
+  CallGraph graph;
+  lint_one(path, findings, graph);
+  graph.finalize();
+  std::vector<Finding> rt = graph.check_realtime();
+  findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
+                  std::make_move_iterator(rt.end()));
+  return findings;
 }
 
 std::vector<Finding> run_lint(const std::vector<fs::path>& roots) {
   std::vector<fs::path> files;
   for (const fs::path& r : roots) collect_files(r, files);
   std::vector<Finding> findings;
-  for (const fs::path& f : files) {
-    std::vector<Finding> file_findings = lint_file(f);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
+  // One graph across every TU in the run: a violation in a helper defined
+  // in another file is still attributed to the realtime root that reaches
+  // it (multi-TU merging happens in CallGraph::add_function by qualified
+  // name).
+  CallGraph graph;
+  for (const fs::path& f : files) lint_one(f, findings, graph);
+  graph.finalize();
+  std::vector<Finding> rt = graph.check_realtime();
+  findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
+                  std::make_move_iterator(rt.end()));
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;

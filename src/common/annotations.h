@@ -46,3 +46,25 @@
 #define EUCON_RETURN_CAPABILITY(x) EUCON_THREAD_ANNOTATION(lock_returned(x))
 #define EUCON_NO_THREAD_SAFETY_ANALYSIS \
   EUCON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Real-time-path contracts, read textually by tools/eucon_lint (v3). No
+// compiler ever sees anything — every macro below expands to nothing.
+// Placement is trailing: after the parameter list and cv/ref/override
+// specifiers, before the body or the terminating ';'.
+//
+//   const Vector& update(const Vector& u) EUCON_REALTIME;
+//   void add(std::string_view n) EUCON_REALTIME
+//       EUCON_BLOCK_OK("one uncontended mutex per sample, by design");
+//
+// EUCON_REALTIME marks a function as a sampling-period hot-path root: the
+// linter extracts the call graph and flags any allocation, blocking call,
+// or nondeterminism source reachable from it (rules allocation-in-realtime,
+// blocking-in-realtime, nondeterminism-in-realtime), printing the full call
+// chain. The *_OK escape hatches acknowledge one category for a function
+// and for everything reached through it; always pass a justification
+// string. docs/quality.md documents the contract and when to hatch vs fix.
+#define EUCON_REALTIME
+#define EUCON_ALLOC_OK(...)
+#define EUCON_BLOCK_OK(...)
+#define EUCON_NONDET_OK(...)

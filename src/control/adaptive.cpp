@@ -12,7 +12,7 @@ AdaptiveMpcController::AdaptiveMpcController(PlantModel model,
       mpc_(model_, std::move(params), std::move(initial_rates)),
       estimator_(model_.num_processors(), est_params) {}
 
-Vector AdaptiveMpcController::update(const Vector& u) {
+const Vector& AdaptiveMpcController::update(const Vector& u) {
   if (have_prev_) {
     // What the (unscaled) model said last period's move would do…
     const Vector predicted_db = model_.f * mpc_.last_applied_delta();

@@ -23,7 +23,7 @@ class AdaptiveMpcController final : public Controller {
                         linalg::Vector initial_rates,
                         GainEstimatorParams estimator_params = {});
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override;
   std::string name() const override { return "EUCON-A"; }
 
   const linalg::Vector& gain_estimate() const { return estimator_.gains(); }

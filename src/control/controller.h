@@ -13,8 +13,9 @@ class Controller {
 
   // Invoked at the end of every sampling period with the measured
   // utilization vector u(k); returns the task-rate vector r(k) to apply for
-  // the next period.
-  virtual linalg::Vector update(const linalg::Vector& u) = 0;
+  // the next period. The reference stays valid until the next update() (it
+  // aliases the controller's internal rate state) — copy it to keep it.
+  virtual const linalg::Vector& update(const linalg::Vector& u) = 0;
 
   virtual std::string name() const = 0;
 };

@@ -80,7 +80,7 @@ DecentralizedMpcController::DecentralizedMpcController(PlantModel model,
   EUCON_ASSERT(!nodes_.empty(), "no local controllers constructed");
 }
 
-Vector DecentralizedMpcController::update(const Vector& u) {
+const Vector& DecentralizedMpcController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == model_.num_processors(),
                 "utilization vector size mismatch");
   // Each node reads its neighborhood's utilization and commands its owned

@@ -34,7 +34,7 @@ class DecentralizedMpcController final : public Controller {
   DecentralizedMpcController(PlantModel model, MpcParams params,
                              linalg::Vector initial_rates);
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override;
   std::string name() const override { return "DEUCON"; }
 
   // Introspection for tests and benches.

@@ -154,6 +154,8 @@ void MpcController::rebuild_constraint_templates() {
 
   a_full_ = Matrix(util_rows + rate_rows, cols);
   a_rates_ = Matrix(rate_rows, cols);
+  x_zero_ = Vector(cols, 0.0);
+  x_drop_ = Vector(cols, 0.0);
 
   std::size_t row0 = 0;
   for (int i = 1; i <= mh; ++i) {
@@ -246,7 +248,9 @@ void MpcController::fill_constraint_rhs(const Vector& u, bool with_util_rows,
   const std::size_t util_rows =
       with_util_rows ? tracked_count_ * static_cast<std::size_t>(mh) : 0;
   const std::size_t rate_rows = 2 * m * static_cast<std::size_t>(mh);
-  b.data().resize(util_rows + rate_rows);
+  // Steady-state no-op past the first period per template: the scratch only
+  // regrows when the fallback toggles the utilization rows on or off.
+  b.data().resize(util_rows + rate_rows);  // eucon-lint: allow(allocation-in-realtime)
 
   std::size_t row0 = 0;
   if (with_util_rows) {
@@ -263,14 +267,13 @@ void MpcController::fill_constraint_rhs(const Vector& u, bool with_util_rows,
   }
 }
 
-Vector MpcController::update(const Vector& u) {
+const Vector& MpcController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == active_model_.num_processors(),
                 "utilization vector size mismatch");
   EUCON_CHECK_FINITE_VEC("MpcController::update input u", u);
   OBS_TIMED(metrics_, "mpc.update");
   ++update_count_;
   const std::size_t m = active_model_.num_tasks();
-  const std::size_t cols = m * static_cast<std::size_t>(params_.control_horizon);
 
   const bool want_util_rows =
       params_.constraint_mode == ConstraintMode::kHardWithFallback;
@@ -281,10 +284,10 @@ Vector MpcController::update(const Vector& u) {
   // R_min minimizes every predicted utilization):
   //   x = 0                      feasible when u(k) <= B already;
   //   x = [R_min - r(k-1); 0; …] feasible whenever the problem is feasible.
+  // x_zero_ stays all-zero; only x_drop_'s head changes period to period
+  // (its tail past m was zeroed when the templates were rebuilt).
   const double tol = 1e-9;
-  Vector x_zero(cols, 0.0);
-  Vector x_drop(cols, 0.0);
-  for (std::size_t j = 0; j < m; ++j) x_drop[j] = active_model_.rate_min[j] - rates_[j];
+  for (std::size_t j = 0; j < m; ++j) x_drop_[j] = active_model_.rate_min[j] - rates_[j];
 
   bool util_rows = want_util_rows;
   const Vector* x0 = nullptr;
@@ -294,13 +297,13 @@ Vector MpcController::update(const Vector& u) {
       if (!tracked_[i]) continue;  // no util rows for untracked processors
       if (u[i] > active_model_.b[i] + tol) zero_ok = false;
       double u_drop = u[i];
-      for (std::size_t j = 0; j < m; ++j) u_drop += active_model_.f(i, j) * x_drop[j];
+      for (std::size_t j = 0; j < m; ++j) u_drop += active_model_.f(i, j) * x_drop_[j];
       if (u_drop > active_model_.b[i] + tol) drop_ok = false;
     }
     if (zero_ok) {
-      x0 = &x_zero;
+      x0 = &x_zero_;
     } else if (drop_ok) {
-      x0 = &x_drop;
+      x0 = &x_drop_;
     } else {
       // No rate vector can satisfy u <= B (paper §6.2: infeasible instance;
       // rate adaptation alone cannot reach the set points). Best effort:
@@ -310,32 +313,35 @@ Vector MpcController::update(const Vector& u) {
       ++fallback_count_;
     }
   }
-  if (!util_rows) x0 = &x_zero;
+  if (!util_rows) x0 = &x_zero_;
 
   fill_constraint_rhs(u, util_rows, b_scratch_);
   const Matrix& a = util_rows ? a_full_ : a_rates_;
   qp::WarmStart& warm = util_rows ? warm_full_ : warm_rates_;
-  qp::LsqlinResult res;
   {
     OBS_TIMED(metrics_, "qp.solve");
-    res = solver_.solve(d_, a, b_scratch_, x0, params_.solver, &warm);
+    solver_.solve_into(d_, a, b_scratch_, x0, params_.solver, &warm, result_);
   }
-  last_status_ = res.status;
-  last_iterations_ = res.iterations;
-  last_fast_path_ = res.fast_path;
+  last_status_ = result_.status;
+  last_iterations_ = result_.iterations;
+  last_fast_path_ = result_.fast_path;
   last_used_fallback_ = want_util_rows && !util_rows;
   last_used_util_rows_ = util_rows;
-  qp_iterations_total_ += res.iterations < 0
+  qp_iterations_total_ += result_.iterations < 0
                               ? 0u
-                              : static_cast<std::uint64_t>(res.iterations);
-  if (res.fast_path) ++fast_path_hits_;
+                              : static_cast<std::uint64_t>(result_.iterations);
+  if (result_.fast_path) ++fast_path_hits_;
 
-  // Receding horizon: apply only Δr(k|k). Suspended tasks stay frozen.
-  Vector dr(m);
-  for (std::size_t j = 0; j < m; ++j) dr[j] = enabled_[j] ? res.x[j] : 0.0;
-  const Vector new_rates = (rates_ + dr).clamped(active_model_.rate_min, active_model_.rate_max);
-  dr_prev_ = new_rates - rates_;
-  rates_ = new_rates;
+  // Receding horizon: apply only Δr(k|k), clamped into the rate box.
+  // Suspended tasks stay frozen. All in place: update() is EUCON_REALTIME,
+  // so no temporaries.
+  for (std::size_t j = 0; j < m; ++j) {
+    const double dr = enabled_[j] ? result_.x[j] : 0.0;
+    const double clamped = std::clamp(rates_[j] + dr, active_model_.rate_min[j],
+                                      active_model_.rate_max[j]);
+    dr_prev_[j] = clamped - rates_[j];
+    rates_[j] = clamped;
+  }
   EUCON_CHECK_FINITE_VEC("MpcController::update result rates", rates_);
   return rates_;
 }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "control/controller.h"
 #include "control/model.h"
 #include "obs/registry.h"
@@ -75,7 +76,7 @@ class MpcController final : public Controller {
   MpcController(PlantModel model, MpcParams params,
                 linalg::Vector initial_rates);
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override EUCON_REALTIME;
   std::string name() const override { return "EUCON"; }
 
   const PlantModel& model() const { return model_; }
@@ -193,6 +194,9 @@ class MpcController final : public Controller {
   linalg::Vector d_;
   linalg::Vector d_tail_;    // dr Δr(k-1) term
   linalg::Vector b_minus_u_;
+  linalg::Vector x_zero_;    // all-zero warm start for the fallback retry
+  linalg::Vector x_drop_;    // Δr = -r(k-1) "drop everything" feasibility probe
+  qp::LsqlinResult result_;  // per-period solver result (x reused as scratch)
   qp::WarmStart warm_full_;
   qp::WarmStart warm_rates_;
 };

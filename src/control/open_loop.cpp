@@ -46,7 +46,7 @@ OpenLoopController::OpenLoopController(const PlantModel& model,
   rates_ = res.x.clamped(model_.rate_min, model_.rate_max);
 }
 
-Vector OpenLoopController::update(const Vector& /*u*/) { return rates_; }
+const Vector& OpenLoopController::update(const Vector& /*u*/) { return rates_; }
 
 Vector OpenLoopController::expected_utilization(double etf) const {
   Vector u = model_.f * rates_;

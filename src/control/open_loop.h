@@ -19,7 +19,7 @@ class OpenLoopController final : public Controller {
   // the natural choice.
   OpenLoopController(const PlantModel& model, linalg::Vector preferred_rates);
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override;
   std::string name() const override { return "OPEN"; }
 
   linalg::Vector rates() const { return rates_; }

@@ -24,7 +24,7 @@ PidController::PidController(PlantModel model, PidParams params,
   for (std::size_t i = 0; i < ff_t_.rows(); ++i) ff_t_(i, i) += 1e-9;
 }
 
-Vector PidController::update(const Vector& u) {
+const Vector& PidController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == model_.num_processors(),
                 "utilization vector size mismatch");
   const Vector e = model_.b - u;

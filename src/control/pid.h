@@ -25,7 +25,7 @@ class PidController final : public Controller {
  public:
   PidController(PlantModel model, PidParams params, linalg::Vector initial_rates);
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override;
   std::string name() const override { return "PID"; }
 
  private:

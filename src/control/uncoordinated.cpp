@@ -38,7 +38,7 @@ UncoordinatedFcsController::UncoordinatedFcsController(PlantModel model,
   }
 }
 
-Vector UncoordinatedFcsController::update(const Vector& u) {
+const Vector& UncoordinatedFcsController::update(const Vector& u) {
   EUCON_REQUIRE(u.size() == model_.num_processors(),
                 "utilization vector size mismatch");
   const Vector e = model_.b - u;

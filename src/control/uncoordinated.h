@@ -32,7 +32,7 @@ class UncoordinatedFcsController final : public Controller {
   UncoordinatedFcsController(PlantModel model, UncoordinatedParams params,
                              linalg::Vector initial_rates);
 
-  linalg::Vector update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override;
   std::string name() const override { return "FCS-IND"; }
 
   // Which processor each task is rooted on (largest allocation share —

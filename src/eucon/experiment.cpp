@@ -240,7 +240,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const std::vector<double> u = sim.sample_utilizations();
 
     // Deliver the reports over the (possibly lossy) feedback lanes.
-    const linalg::Vector u_seen = lanes.deliver(
+    const linalg::Vector& u_seen = lanes.deliver(
         linalg::Vector(u),
         injector != nullptr ? &injector->lane_loss_mask() : nullptr);
     max_stale_run = std::max(max_stale_run, lanes.max_staleness());

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 
 namespace eucon::faults {
@@ -154,7 +155,9 @@ class FaultInjector {
   FaultInjector(const FaultPlan& plan, std::size_t num_processors,
                 std::uint64_t run_seed);
 
-  void begin_period(int k);
+  // Runs once per sampling period on the control path: preallocated masks,
+  // a fixed number of seeded-Rng draws, no heap traffic.
+  void begin_period(int k) EUCON_REALTIME;
 
   // One flag per lane: report forcibly lost this period (Gilbert–Elliott
   // bad-state draw or a scripted LaneOutage window).

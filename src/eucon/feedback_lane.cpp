@@ -22,28 +22,28 @@ FeedbackLanes::FeedbackLanes(const linalg::Vector& initial_seen,
                 "loss probability must be in [0, 1)");
 }
 
-linalg::Vector FeedbackLanes::deliver(const linalg::Vector& measured,
-                                      const std::vector<unsigned char>* forced) {
+const linalg::Vector& FeedbackLanes::deliver(
+    const linalg::Vector& measured, const std::vector<unsigned char>* forced) {
   EUCON_REQUIRE(measured.size() == last_.size(), "measurement size mismatch");
   EUCON_REQUIRE(forced == nullptr || forced->size() == last_.size(),
                 "forced-loss mask size mismatch");
-  linalg::Vector seen = measured;
+  // In place: a lost lane keeps its last delivered value, a live lane
+  // overwrites it — no per-period temporary (deliver is EUCON_REALTIME).
   last_period_losses_ = 0;
-  for (std::size_t p = 0; p < seen.size(); ++p) {
+  for (std::size_t p = 0; p < last_.size(); ++p) {
     bool lost = loss_probability_ > 0.0 && rng_.next_double() < loss_probability_;
     if (forced != nullptr && (*forced)[p] != 0) lost = true;
     if (lost) {
-      seen[p] = last_[p];
       ++lost_;
       ++last_period_losses_;
       ++staleness_[p];
     } else {
+      last_[p] = measured[p];
       ++delivered_;
       staleness_[p] = 0;
     }
   }
-  last_ = seen;
-  return seen;
+  return last_;
 }
 
 int FeedbackLanes::max_staleness() const {

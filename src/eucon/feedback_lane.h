@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "linalg/vector.h"
 
@@ -44,9 +45,13 @@ class FeedbackLanes {
   // forcibly lost this period regardless of the i.i.d. draw — fault
   // injection (see eucon/faults.h). The i.i.d. draw is consumed *before*
   // the forced flag is applied so the random stream stays aligned with an
-  // unfaulted shadow instance.
-  linalg::Vector deliver(const linalg::Vector& measured,
-                         const std::vector<unsigned char>* forced = nullptr);
+  // unfaulted shadow instance. The returned reference aliases the
+  // last-delivered state and stays valid until the next deliver(). (The
+  // lane's Rng is a seeded per-run counter stream — common/rng.h — so the
+  // draw is deterministic and needs no EUCON_NONDET_OK hatch.)
+  const linalg::Vector& deliver(const linalg::Vector& measured,
+                                const std::vector<unsigned char>* forced =
+                                    nullptr) EUCON_REALTIME;
 
   std::uint64_t lost_reports() const { return lost_; }
   std::uint64_t delivered_reports() const { return delivered_; }

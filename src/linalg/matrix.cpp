@@ -195,7 +195,8 @@ Matrix gram(const Matrix& a) {
 
 void multiply_into(const Matrix& a, const Vector& x, Vector& out) {
   EUCON_REQUIRE(a.cols() == x.size(), "matrix-vector size mismatch");
-  out.data().resize(a.rows());
+  // Steady-state no-op: callers reuse `out` across periods.
+  out.data().resize(a.rows());  // eucon-lint: allow(allocation-in-realtime)
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
@@ -206,7 +207,9 @@ void multiply_into(const Matrix& a, const Vector& x, Vector& out) {
 
 void transpose_times_into(const Matrix& a, const Vector& x, Vector& out) {
   EUCON_REQUIRE(a.rows() == x.size(), "transpose_times size mismatch");
-  out.data().assign(a.cols(), 0.0);
+  // Steady-state no-op reallocation-wise: assign only zero-fills in place
+  // once `out` holds a.cols() elements.
+  out.data().assign(a.cols(), 0.0);  // eucon-lint: allow(allocation-in-realtime)
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;  // eucon-lint: allow(float-equality)
@@ -216,8 +219,9 @@ void transpose_times_into(const Matrix& a, const Vector& x, Vector& out) {
 }
 
 void gram_into(const Matrix& a, Matrix& out) {
+  // Reshape only when the geometry changed (model rebuild, not per period).
   if (out.rows() != a.cols() || out.cols() != a.cols())
-    out = Matrix(a.cols(), a.cols());
+    out = Matrix(a.cols(), a.cols());  // eucon-lint: allow(allocation-in-realtime)
   for (std::size_t i = 0; i < a.cols(); ++i) {
     for (std::size_t j = i; j < a.cols(); ++j) {
       double acc = 0.0;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "linalg/vector.h"
 
 namespace eucon::linalg {
@@ -16,8 +17,12 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
   // Construction from nested initializer lists; all rows must have the
-  // same length.
-  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+  // same length. Hatched for the realtime lint: constructing a Matrix IS
+  // an allocation, and the use-site rule already flags every `Matrix(...)`
+  // on an EUCON_REALTIME path — reporting the ctor's internals as well
+  // would double-count the same event.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows)
+      EUCON_ALLOC_OK("use-site rule owns Matrix-construction findings");
 
   static Matrix identity(std::size_t n);
   static Matrix diagonal(const Vector& d);
@@ -76,9 +81,10 @@ Matrix gram(const Matrix& a);
 // Scratch-buffer variants for per-period hot paths (MPC controller / QP):
 // `out` is resized once and reused, so steady-state calls never touch the
 // heap. Aliasing `out` with an input is not allowed.
-void multiply_into(const Matrix& a, const Vector& x, Vector& out);
-void transpose_times_into(const Matrix& a, const Vector& x, Vector& out);
-void gram_into(const Matrix& a, Matrix& out);
+void multiply_into(const Matrix& a, const Vector& x, Vector& out) EUCON_REALTIME;
+void transpose_times_into(const Matrix& a, const Vector& x,
+                          Vector& out) EUCON_REALTIME;
+void gram_into(const Matrix& a, Matrix& out) EUCON_REALTIME;
 
 bool approx_equal(const Matrix& a, const Matrix& b, double tol);
 

@@ -48,8 +48,16 @@ Qr::Qr(const Matrix& a)
 }
 
 Vector Qr::qt_times(const Vector& b) const {
+  Vector y;
+  qt_times_into(b, y);
+  return y;
+}
+
+void Qr::qt_times_into(const Vector& b, Vector& y) const {
   EUCON_REQUIRE(b.size() == m_, "qt_times size mismatch");
-  Vector y = b;
+  // Steady-state no-op: the caller reuses y across solves of one geometry.
+  y.data().resize(m_);  // eucon-lint: allow(allocation-in-realtime)
+  for (std::size_t i = 0; i < m_; ++i) y[i] = b[i];
   for (std::size_t k = 0; k < n_; ++k) {
     if (beta_[k] == 0.0) continue;  // eucon-lint: allow(float-equality)
     const double vkk = vk_head_[k];
@@ -59,7 +67,6 @@ Vector Qr::qt_times(const Vector& b) const {
     y[k] -= s * vkk;
     for (std::size_t i = k + 1; i < m_; ++i) y[i] -= s * qr_(i, k);
   }
-  return y;
 }
 
 Matrix Qr::r() const {
@@ -70,17 +77,23 @@ Matrix Qr::r() const {
 }
 
 Vector Qr::solve_least_squares(const Vector& b) const {
+  Vector y, x;
+  solve_least_squares_into(b, y, x);
+  return x;
+}
+
+void Qr::solve_least_squares_into(const Vector& b, Vector& y, Vector& x) const {
   if (!full_rank_)
     EUCON_FAIL("Qr::solve_least_squares: rank-deficient matrix");
-  Vector y = qt_times(b);
-  Vector x(n_);
+  qt_times_into(b, y);
+  // Steady-state no-op: the caller reuses x across solves of one geometry.
+  x.data().resize(n_);  // eucon-lint: allow(allocation-in-realtime)
   for (std::size_t ii = n_; ii-- > 0;) {
     double acc = y[ii];
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= qr_(ii, j) * x[j];
     x[ii] = acc / qr_(ii, ii);
   }
   EUCON_CHECK_FINITE_VEC("Qr::solve_least_squares result", x);
-  return x;
 }
 
 Vector least_squares(const Matrix& a, const Vector& b) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/annotations.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -21,10 +22,18 @@ class Qr {
   // Minimizes ||A x - b||_2. Throws std::runtime_error when rank deficient.
   Vector solve_least_squares(const Vector& b) const;
 
+  // Allocation-free variant for per-period callers: `y` is caller-owned
+  // scratch (resized on first use, steady-state no-op after) and `x`
+  // receives the solution. Aliasing b/y/x is not allowed.
+  void solve_least_squares_into(const Vector& b, Vector& y,
+                                Vector& x) const EUCON_REALTIME;
+
   // The upper-triangular factor (n×n).
   Matrix r() const;
   // Applies Q^T to a vector of length m.
   Vector qt_times(const Vector& b) const;
+  // In-place Q^T b into caller-owned `y` (resized to length m on first use).
+  void qt_times_into(const Vector& b, Vector& y) const EUCON_REALTIME;
 
  private:
   std::size_t m_, n_;

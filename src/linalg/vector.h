@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace eucon::linalg {
 
 class Vector {
@@ -55,6 +57,6 @@ Vector operator-(Vector v);
 bool approx_equal(const Vector& a, const Vector& b, double tol);
 
 // y += alpha * x without materializing the scaled temporary (hot-path axpy).
-void add_scaled(Vector& y, double alpha, const Vector& x);
+void add_scaled(Vector& y, double alpha, const Vector& x) EUCON_REALTIME;
 
 }  // namespace eucon::linalg

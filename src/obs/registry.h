@@ -67,23 +67,39 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  // The three mutating entry points run on EUCON_REALTIME paths (the
+  // controller's per-period instrumentation). Both hatches are deliberate,
+  // documented costs, not oversights: the internal eucon::Mutex is
+  // uncontended-fast and held for one map operation (see the cost model
+  // above), and the map node allocation happens only the first time a name
+  // is seen — steady-state increments hit an existing node.
+
   // Counters: monotone event tallies.
-  void add(std::string_view name, std::uint64_t delta = 1);
+  void add(std::string_view name, std::uint64_t delta = 1) EUCON_REALTIME
+      EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+          EUCON_ALLOC_OK("map node allocated on first use of a name only");
   std::uint64_t counter(std::string_view name) const;
 
   // Gauges: last written value wins (also across threads; a gauge shared
   // between workers records *some* last value, use counters for totals).
-  void set_gauge(std::string_view name, double value);
+  void set_gauge(std::string_view name, double value) EUCON_REALTIME
+      EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+          EUCON_ALLOC_OK("map node allocated on first use of a name only");
   double gauge(std::string_view name) const;  // 0.0 when never written
 
   // Timers: one duration sample per call.
-  void record_duration_ns(std::string_view name, std::uint64_t ns);
+  void record_duration_ns(std::string_view name, std::uint64_t ns)
+      EUCON_REALTIME EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+          EUCON_ALLOC_OK("map node allocated on first use of a name only");
   TimerStats timer(std::string_view name) const;  // zeroed when never written
 
   Snapshot snapshot() const;
 
-  // Drops every counter/gauge/timer (between bench sections).
-  void clear();
+  // Drops every counter/gauge/timer (between bench sections). The hatch
+  // mirrors the mutating entry points above: one uncontended mutex hold.
+  // (The realtime call graph also reaches this node conservatively through
+  // any `x.clear()` member call, e.g. on a std::vector.)
+  void clear() EUCON_BLOCK_OK("one uncontended map-op mutex hold");
 
  private:
   mutable Mutex mu_;
@@ -102,7 +118,11 @@ class ScopedTimer {
       : registry_(registry), name_(name) {
     if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
-  ~ScopedTimer() {
+  // The destructor sits at the end of every OBS_TIMED scope on the control
+  // path; the steady_clock read is the timer's entire point (it measures
+  // wall time, it does not steer the simulation), hence the hatch.
+  ~ScopedTimer() EUCON_REALTIME
+      EUCON_NONDET_OK("steady_clock read is the measurement itself") {
     if (registry_ != nullptr) {
       const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                           std::chrono::steady_clock::now() - start_)

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/annotations.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -59,10 +60,17 @@ struct WarmStart {
 // constraint_tol) and is used as the starting point; otherwise an internal
 // phase-1 problem computes a feasible start (or proves infeasibility).
 // A may have zero rows (unconstrained problem).
+//
+// Hatched for the realtime lint: the active-set iteration allocates KKT
+// workspaces sized by the working set, which changes shape between
+// iterations. It runs on the EUCON_REALTIME path only when the cached-QR
+// fast path misses (a transient, not the steady state); eliminating its
+// allocations needs a workspace-reuse rewrite tracked in ROADMAP.md.
 Result solve_qp(const linalg::Matrix& h, const linalg::Vector& f,
                 const linalg::Matrix& a, const linalg::Vector& b,
                 const linalg::Vector* x0 = nullptr, const Options& opts = {},
-                WarmStart* warm = nullptr);
+                WarmStart* warm = nullptr)
+    EUCON_ALLOC_OK("KKT workspaces resize with the working set; QP path is off the steady state");
 
 // Finds any x with A x <= b (phase-1). Status is kOptimal on success with
 // the point in `x`, kInfeasible otherwise.

@@ -76,20 +76,28 @@ void LsqlinSolver::reset(linalg::Matrix c) {
 LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
                                  const Vector& b, const Vector* x0,
                                  const Options& opts, WarmStart* warm) {
+  LsqlinResult out;
+  solve_into(d, a, b, x0, opts, warm, out);
+  return out;
+}
+
+void LsqlinSolver::solve_into(const Vector& d, const Matrix& a,
+                              const Vector& b, const Vector* x0,
+                              const Options& opts, WarmStart* warm,
+                              LsqlinResult& out) {
   EUCON_REQUIRE(d.size() == c_.rows(), "LsqlinSolver: C/d size mismatch");
   EUCON_REQUIRE(a.rows() == b.size(), "LsqlinSolver: A/b size mismatch");
   EUCON_REQUIRE(a.rows() == 0 || a.cols() == c_.cols(),
                 "LsqlinSolver: A column mismatch");
   EUCON_CHECK_FINITE_VEC("LsqlinSolver input d", d);
 
-  LsqlinResult out;
-
   // Fast path: the unconstrained minimizer from the cached QR. Feasible ⇒
   // optimal (the constrained optimum can never beat the unconstrained one).
+  // solve_least_squares_into reuses out.x and the y_ scratch, so the
+  // steady-state period performs no heap allocation at all.
   if (qr_.full_rank()) {
-    Vector x_u = qr_.solve_least_squares(d);
-    if (max_violation(a, b, x_u) <= opts.constraint_tol) {
-      out.x = std::move(x_u);
+    qr_.solve_least_squares_into(d, y_, out.x);
+    if (max_violation(a, b, out.x) <= opts.constraint_tol) {
       out.status = Status::kOptimal;
       out.iterations = 0;
       out.fast_path = true;
@@ -99,7 +107,7 @@ LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
       // The working set at an interior optimum is empty; hand that to the
       // next solve rather than a stale set.
       if (warm != nullptr) warm->working.clear();
-      return out;
+      return;
     }
   }
 
@@ -109,13 +117,15 @@ LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
   out.x = qp_res.x;
   out.status = qp_res.status;
   out.iterations = qp_res.iterations;
+  out.fast_path = false;
   if (!out.x.empty()) {
     multiply_into(c_, out.x, resid_);
     resid_ -= d;
     out.residual_norm = resid_.norm2();
+  } else {
+    out.residual_norm = 0.0;  // don't carry a stale norm across reuses
   }
   EUCON_CHECK_FINITE_VEC("LsqlinSolver result", out.x);
-  return out;
 }
 
 }  // namespace eucon::qp

@@ -7,6 +7,7 @@
 // the active-set QP).
 #pragma once
 
+#include "common/annotations.h"
 #include "linalg/qr.h"
 #include "qp/active_set.h"
 
@@ -66,12 +67,23 @@ class LsqlinSolver {
                      const linalg::Vector* x0 = nullptr,
                      const Options& opts = {}, WarmStart* warm = nullptr);
 
+  // Allocation-free variant for per-period callers: writes into a
+  // caller-owned result whose x is reused as scratch across solves. On the
+  // cached-QR fast path this performs zero heap allocations in steady
+  // state; the active-set QP path still allocates internally (hatched —
+  // see the EUCON_ALLOC_OK on qp::solve_qp).
+  void solve_into(const linalg::Vector& d, const linalg::Matrix& a,
+                  const linalg::Vector& b, const linalg::Vector* x0,
+                  const Options& opts, WarmStart* warm,
+                  LsqlinResult& out) EUCON_REALTIME;
+
  private:
   linalg::Matrix c_;
   linalg::Qr qr_;      // cached factorization of C
   linalg::Matrix h_;   // cached 2 C'C (the QP Hessian)
   linalg::Vector f_;   // scratch: -2 C'd
   linalg::Vector resid_;  // scratch: C x - d
+  linalg::Vector y_;      // scratch: Q^T d for the fast path
 };
 
 }  // namespace eucon::qp

@@ -1,0 +1,206 @@
+// Unit tests for the interprocedural call-graph extractor
+// (src/analysis/callgraph.h): qualified-name extraction, overload and
+// declaration/definition merging, the conservative resolution rules
+// (methods via objects, qualified calls, constructors, function pointers),
+// and multi-TU merging. Sources are tokenized in memory — no files.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/lexer.h"
+
+namespace ea = eucon::analysis;
+
+namespace {
+
+// Tokenizes each (path, source) pair, strips comments, and builds a
+// finalized graph — the same shape rules.cpp feeds from real files.
+ea::CallGraph build(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  ea::CallGraph g;
+  for (const auto& [path, src] : files) {
+    std::vector<ea::Token> code;
+    for (ea::Token& t : ea::tokenize(src))
+      if (t.kind != ea::TokenKind::kComment) code.push_back(std::move(t));
+    g.add_file(path, code, {});
+  }
+  g.finalize();
+  return g;
+}
+
+std::set<std::string> callee_names(const ea::CallGraph& g,
+                                   const std::string& qname) {
+  const ea::CgFunction* fn = g.find(qname);
+  EXPECT_NE(fn, nullptr) << qname;
+  std::set<std::string> out;
+  if (fn == nullptr) return out;
+  for (const std::size_t idx : fn->callees)
+    out.insert(g.functions()[idx].qname);
+  return out;
+}
+
+TEST(CallGraphTest, ExtractsQualifiedNamesAcrossScopes) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "namespace outer::inner {\n"
+                                  "void free_fn() {}\n"
+                                  "class Widget {\n"
+                                  " public:\n"
+                                  "  void poke() { free_fn(); }\n"
+                                  "};\n"
+                                  "}  // namespace outer::inner\n"}});
+  EXPECT_NE(g.find("outer::inner::free_fn"), nullptr);
+  const ea::CgFunction* poke = g.find("outer::inner::Widget::poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_TRUE(poke->is_method);
+  EXPECT_TRUE(poke->defined);
+  EXPECT_EQ(callee_names(g, "outer::inner::Widget::poke"),
+            (std::set<std::string>{"outer::inner::free_fn"}));
+}
+
+TEST(CallGraphTest, OverloadsShareOneNode) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "void f(int a) {}\n"
+                                  "void f(double a) {}\n"
+                                  "void g() { f(1); }\n"}});
+  // Both overloads merged into ::f, so the call reaches every overload.
+  const ea::CgFunction* f = g.find("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->defined);
+  EXPECT_EQ(callee_names(g, "g"), (std::set<std::string>{"f"}));
+}
+
+TEST(CallGraphTest, QualifiedCallResolvesThroughNamespaces) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "namespace lib { void helper() {} }\n"
+                                  "namespace app {\n"
+                                  "void run() { lib::helper(); }\n"
+                                  "}\n"}});
+  EXPECT_EQ(callee_names(g, "app::run"),
+            (std::set<std::string>{"lib::helper"}));
+}
+
+TEST(CallGraphTest, MethodCallThroughObjectResolvesToMethodsByLeafName) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "class Engine {\n"
+                                  " public:\n"
+                                  "  void start() {}\n"
+                                  "};\n"
+                                  "void drive(Engine& e) { e.start(); }\n"}});
+  EXPECT_EQ(callee_names(g, "drive"),
+            (std::set<std::string>{"Engine::start"}));
+}
+
+TEST(CallGraphTest, MemberCallNeverBindsToFreeFunction) {
+  // `.solve(` must not resolve to a free function named solve — the member
+  // fallback is methods-only (over-approximate, never cross-kind).
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "void solve() {}\n"
+                                  "struct Opaque;\n"
+                                  "void run(Opaque& s) { s.solve(); }\n"}});
+  const ea::CgFunction* run = g.find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->callees.empty());
+  EXPECT_EQ(run->unresolved, std::vector<std::string>{"solve"});
+}
+
+TEST(CallGraphTest, FunctionPointersAndMacrosStayUnresolved) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "void run(void (*cb)()) {\n"
+                                  "  cb();\n"
+                                  "  SOME_MACRO(1, 2);\n"
+                                  "}\n"}});
+  const ea::CgFunction* run = g.find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->callees.empty());
+  // Both names were seen as call-shaped but have no definition — the graph
+  // records them as unresolved instead of inventing edges.
+  const std::set<std::string> unresolved(run->unresolved.begin(),
+                                         run->unresolved.end());
+  EXPECT_TRUE(unresolved.count("cb"));
+  EXPECT_TRUE(unresolved.count("SOME_MACRO"));
+}
+
+TEST(CallGraphTest, MultiTuMergeUnionsAnnotationsAndDefinition) {
+  const ea::CallGraph g =
+      build({{"widget.h",
+              "class Widget {\n"
+              " public:\n"
+              "  void tick() EUCON_REALTIME;\n"
+              "};\n"},
+             {"widget.cpp",
+              "void Widget::tick() { helper(); }\n"
+              "void helper() {}\n"}});
+  const ea::CgFunction* tick = g.find("Widget::tick");
+  ASSERT_NE(tick, nullptr);
+  // Annotation came from the header, the body from the .cpp — one node.
+  EXPECT_TRUE(tick->realtime);
+  EXPECT_TRUE(tick->defined);
+  EXPECT_TRUE(tick->is_method);
+  EXPECT_EQ(callee_names(g, "Widget::tick"),
+            (std::set<std::string>{"helper"}));
+}
+
+TEST(CallGraphTest, EscapeHatchesParseFromDeclarations) {
+  const ea::CallGraph g =
+      build({{"a.h",
+              "void a() EUCON_ALLOC_OK(\"why\");\n"
+              "void b() EUCON_BLOCK_OK(\"why\");\n"
+              "void c() EUCON_NONDET_OK(\"why\");\n"}});
+  ASSERT_NE(g.find("a"), nullptr);
+  EXPECT_TRUE(g.find("a")->ok[static_cast<int>(ea::RtCategory::kAlloc)]);
+  EXPECT_FALSE(g.find("a")->ok[static_cast<int>(ea::RtCategory::kBlock)]);
+  EXPECT_TRUE(g.find("b")->ok[static_cast<int>(ea::RtCategory::kBlock)]);
+  EXPECT_TRUE(g.find("c")->ok[static_cast<int>(ea::RtCategory::kNondet)]);
+}
+
+TEST(CallGraphTest, ConstructorCallsAndInitListsHandled) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "class Gauge {\n"
+                                  " public:\n"
+                                  "  Gauge(int v) : v_(v) { calibrate(); }\n"
+                                  "  void calibrate() {}\n"
+                                  " private:\n"
+                                  "  int v_;\n"
+                                  "};\n"
+                                  "void make() { Gauge g(3); }\n"}});
+  // The ctor parsed past its init list and found the body call.
+  EXPECT_EQ(callee_names(g, "Gauge::Gauge"),
+            (std::set<std::string>{"Gauge::calibrate"}));
+}
+
+TEST(CallGraphTest, AnonymousNamespaceIsTransparent) {
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "namespace app {\n"
+                                  "namespace {\n"
+                                  "void local_helper() {}\n"
+                                  "}  // namespace\n"
+                                  "void entry() { local_helper(); }\n"
+                                  "}  // namespace app\n"}});
+  // The helper takes the enclosing scope's qualified name.
+  EXPECT_NE(g.find("app::local_helper"), nullptr);
+  EXPECT_EQ(callee_names(g, "app::entry"),
+            (std::set<std::string>{"app::local_helper"}));
+}
+
+TEST(CallGraphTest, DuplicateAddFileIgnored) {
+  ea::CallGraph g;
+  std::vector<ea::Token> code;
+  for (ea::Token& t : ea::tokenize("void f() {}\n"))
+    if (t.kind != ea::TokenKind::kComment) code.push_back(std::move(t));
+  g.add_file("a.cpp", code, {});
+  EXPECT_TRUE(g.has_file("a.cpp"));
+  g.add_file("a.cpp", code, {});  // must not duplicate ::f
+  g.finalize();
+  std::size_t count = 0;
+  for (const ea::CgFunction& fn : g.functions())
+    if (fn.qname == "f") ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace

@@ -84,6 +84,19 @@ TEST(LexerTest, PrefixedLiteralsAreLiterals) {
   EXPECT_EQ(toks[8].text, "L'x'");
 }
 
+TEST(LexerTest, CombinedPrefixRawStringAndHexSeparators) {
+  // u8R combines an encoding prefix with a raw delimiter; the call-shaped
+  // text inside must not leak tokens (the realtime rules would otherwise
+  // see a phantom malloc() on a hot path). Hex separators stay one number.
+  const auto toks =
+      ea::tokenize("auto s = u8R\"(malloc(0))\"; auto m = 0xFF'FF;");
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_EQ(toks[3].kind, ea::TokenKind::kString);
+  EXPECT_EQ(toks[3].text, "u8R\"(malloc(0))\"");
+  EXPECT_EQ(toks[8].kind, ea::TokenKind::kNumber);
+  EXPECT_EQ(toks[8].text, "0xFF'FF");
+}
+
 TEST(LexerTest, DirectivesAreNormalizedAndIncludePathsAreStrings) {
   const auto toks = ea::tokenize("#  pragma once\n#include <sys/socket.h>\n");
   ASSERT_EQ(toks.size(), 4u);

@@ -32,13 +32,15 @@ bool has_rule(const std::vector<ea::Finding>& findings,
 // Registry
 // ---------------------------------------------------------------------------
 
-TEST(LintRegistryTest, AllElevenRulesRegistered) {
-  EXPECT_EQ(ea::rule_registry().size(), 11u);
+TEST(LintRegistryTest, AllFourteenRulesRegistered) {
+  EXPECT_EQ(ea::rule_registry().size(), 14u);
   for (const char* name :
        {"raw-assert", "float-equality", "banned-random",
         "using-namespace-header", "missing-pragma-once", "raw-throw",
         "narrowing-size-cast", "locked-field-access", "detached-thread",
-        "blocking-in-callback", "nondeterministic-parallel"})
+        "blocking-in-callback", "nondeterministic-parallel",
+        "allocation-in-realtime", "blocking-in-realtime",
+        "nondeterminism-in-realtime"})
     EXPECT_TRUE(ea::known_rule(name)) << name;
   EXPECT_FALSE(ea::known_rule("no-such-rule"));
 }

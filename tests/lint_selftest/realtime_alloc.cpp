@@ -1,0 +1,14 @@
+// Fixtures for allocation-in-realtime: a container growth reached
+// transitively from an EUCON_REALTIME root, a hatched helper whose subtree
+// is trusted (no finding), and a line-suppressed direct allocation.
+struct RtBufA {
+  void rt_grow_a() { samples_.push_back(1.0); }
+  std::vector<double> samples_;
+};
+void rt_helper_a(RtBufA& b) { b.rt_grow_a(); }
+void rt_tick_a(RtBufA& b) EUCON_REALTIME { rt_helper_a(b); }
+void rt_hatched_a() EUCON_ALLOC_OK("pooled storage") { double* p = new double[4]; }
+void rt_tick_a2() EUCON_REALTIME { rt_hatched_a(); }
+void rt_tick_a3() EUCON_REALTIME {
+  double* q = new double[2];  // eucon-lint: allow(allocation-in-realtime)
+}

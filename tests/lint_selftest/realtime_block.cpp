@@ -1,0 +1,9 @@
+// Fixtures for blocking-in-realtime: a lock acquisition reached through a
+// method call and a direct sleep on the realtime path.
+struct RtGateB {
+  void rt_wait_b() { mu_.lock(); }
+};
+void rt_tick_b(RtGateB& g) EUCON_REALTIME { g.rt_wait_b(); }
+void rt_tick_b2() EUCON_REALTIME {
+  std::this_thread::sleep_for(ten_ms);
+}

@@ -1,0 +1,7 @@
+// Fixtures for nondeterminism-in-realtime: a transitive wall-clock read;
+// the EUCON_NONDET_OK hatch on the second root silences its whole subtree.
+void rt_clock_c() { long t = std::chrono::steady_clock::now().count(); }
+void rt_tick_c() EUCON_REALTIME { rt_clock_c(); }
+void rt_tick_c2() EUCON_REALTIME EUCON_NONDET_OK("timer readout") {
+  long t = std::chrono::steady_clock::now().count();
+}

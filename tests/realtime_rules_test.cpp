@@ -1,0 +1,202 @@
+// Unit tests for the realtime rule family (allocation-in-realtime,
+// blocking-in-realtime, nondeterminism-in-realtime): positive and negative
+// cases per rule, transitive propagation with the call chain in the
+// message, EUCON_*_OK trust boundaries, and line-level suppression.
+// Sources are linted in memory via lint_source.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace ea = eucon::analysis;
+
+namespace {
+
+std::vector<ea::Finding> findings_for(const std::vector<ea::Finding>& all,
+                                      const std::string& rule) {
+  std::vector<ea::Finding> out;
+  for (const ea::Finding& f : all)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// allocation-in-realtime
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeAllocTest, FiresOnDirectAllocation) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "void tick() EUCON_REALTIME {\n"
+                                   "  double* p = new double[3];\n"
+                                   "}\n");
+  const auto f = findings_for(all, "allocation-in-realtime");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_NE(f[0].message.find("'new'"), std::string::npos);
+  EXPECT_NE(f[0].message.find("tick"), std::string::npos);
+}
+
+TEST(RealtimeAllocTest, FiresOnContainerGrowthTransitively) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct Buf {\n"
+                                   "  void grow() { v_.push_back(1.0); }\n"
+                                   "  std::vector<double> v_;\n"
+                                   "};\n"
+                                   "void helper(Buf& b) { b.grow(); }\n"
+                                   "void tick(Buf& b) EUCON_REALTIME {\n"
+                                   "  helper(b);\n"
+                                   "}\n");
+  const auto f = findings_for(all, "allocation-in-realtime");
+  ASSERT_EQ(f.size(), 1u);
+  // The finding lands on the offending site with the full chain.
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_NE(f[0].message.find("tick -> helper -> Buf::grow"),
+            std::string::npos)
+      << f[0].message;
+}
+
+TEST(RealtimeAllocTest, AllocOkHatchIsATrustBoundary) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void helper() EUCON_ALLOC_OK(\"amortized\") {\n"
+      "  double* p = new double[3];\n"
+      "}\n"
+      "void tick() EUCON_REALTIME { helper(); }\n");
+  EXPECT_TRUE(findings_for(all, "allocation-in-realtime").empty());
+}
+
+TEST(RealtimeAllocTest, CleanFunctionProducesNoFindings) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "double tick(double x) EUCON_REALTIME {\n"
+                                   "  double acc = 0.0;\n"
+                                   "  for (int i = 0; i < 4; ++i) acc += x;\n"
+                                   "  return acc;\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "allocation-in-realtime").empty());
+  EXPECT_TRUE(findings_for(all, "blocking-in-realtime").empty());
+  EXPECT_TRUE(findings_for(all, "nondeterminism-in-realtime").empty());
+}
+
+TEST(RealtimeAllocTest, UnannotatedFunctionIsNotARoot) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "void not_realtime() {\n"
+                                   "  double* p = new double[3];\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "allocation-in-realtime").empty());
+}
+
+// ---------------------------------------------------------------------------
+// blocking-in-realtime
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeBlockTest, FiresOnLockAndThrow) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "void tick() EUCON_REALTIME {\n"
+                                   "  mu_.lock();\n"
+                                   "  throw 1;\n"
+                                   "}\n");
+  const auto f = findings_for(all, "blocking-in-realtime");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[1].line, 3u);
+}
+
+TEST(RealtimeBlockTest, FiresOnSleepTransitively) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void pause_a_bit() { std::this_thread::sleep_for(10ms); }\n"
+      "void tick() EUCON_REALTIME { pause_a_bit(); }\n");
+  const auto f = findings_for(all, "blocking-in-realtime");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 1u);
+  EXPECT_NE(f[0].message.find("tick -> pause_a_bit"), std::string::npos);
+}
+
+TEST(RealtimeBlockTest, BlockOkHatchSilencesOnlyBlocking) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void helper() EUCON_BLOCK_OK(\"uncontended\") {\n"
+      "  mu_.lock();\n"
+      "  double* p = new double[3];\n"
+      "}\n"
+      "void tick() EUCON_REALTIME { helper(); }\n");
+  EXPECT_TRUE(findings_for(all, "blocking-in-realtime").empty());
+  // The hatch covers one category; the allocation still surfaces.
+  EXPECT_EQ(findings_for(all, "allocation-in-realtime").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism-in-realtime
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeNondetTest, FiresOnClockAndRand) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void tick() EUCON_REALTIME {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  int r = rand();\n"
+      "}\n");
+  const auto f = findings_for(all, "nondeterminism-in-realtime");
+  ASSERT_EQ(f.size(), 2u);
+}
+
+TEST(RealtimeNondetTest, HatchOnRootSilencesTheCategory) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void tick() EUCON_REALTIME EUCON_NONDET_OK(\"measurement\") {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "}\n");
+  EXPECT_TRUE(findings_for(all, "nondeterminism-in-realtime").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression and cross-root dedup
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeSuppressionTest, AllowCommentSuppressesTheSite) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void tick() EUCON_REALTIME {\n"
+      "  double* p = new double[3];  "
+      "// eucon-lint: allow(allocation-in-realtime)\n"
+      "}\n");
+  EXPECT_TRUE(findings_for(all, "allocation-in-realtime").empty());
+}
+
+TEST(RealtimeSuppressionTest, SharedHelperReportedOncePerSite) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "void helper() { double* p = new double[3]; }\n"
+      "void tick_a() EUCON_REALTIME { helper(); }\n"
+      "void tick_b() EUCON_REALTIME { helper(); }\n");
+  // Two roots reach the same site; one finding, first root in name order.
+  const auto f = findings_for(all, "allocation-in-realtime");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("tick_a -> helper"), std::string::npos)
+      << f[0].message;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer regressions inside realtime bodies (digit separators, prefixed
+// literals) — the extractor must not misparse these into call names.
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeLexerTest, DigitSeparatorsAndPrefixedLiteralsParse) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "const char* tick() EUCON_REALTIME {\n"
+      "  long budget = 1'000'000;\n"
+      "  const char* s = u8\"nano\";\n"
+      "  const char* r = R\"(raw (paren) body)\";\n"
+      "  (void)budget;\n"
+      "  return s != nullptr ? s : r;\n"
+      "}\n");
+  EXPECT_TRUE(findings_for(all, "allocation-in-realtime").empty());
+  EXPECT_TRUE(findings_for(all, "blocking-in-realtime").empty());
+  EXPECT_TRUE(findings_for(all, "nondeterminism-in-realtime").empty());
+}
+
+}  // namespace

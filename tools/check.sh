@@ -79,12 +79,25 @@ configure_build_test() {
 run_lint() {
   local dir="$ROOT/build-default"
   echo "=== [lint] build eucon_lint ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   cmake --build "$dir" -j "$JOBS" --target eucon_lint
   echo "=== [lint] JSON gate over src/ tests/ tools/ bench/ examples/ ==="
+  local t0=$SECONDS
   "$dir/tools/eucon_lint" --format=json \
     --baseline "$ROOT/tools/lint_baseline.txt" \
     "$ROOT/src" "$ROOT/tests" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples"
+  echo "=== [lint] directory gate took $((SECONDS - t0))s ==="
+  # Second pass over exactly what the build compiles: the TU list from
+  # compile_commands.json exercises eucon_lint's multi-TU call-graph
+  # merging (each .cpp plus its companion header) the way an IDE or CI
+  # integration would drive it.
+  echo "=== [lint] multi-TU gate via compile_commands.json ==="
+  t0=$SECONDS
+  "$dir/tools/eucon_lint" --format=json \
+    --baseline "$ROOT/tools/lint_baseline.txt" \
+    --compile-commands "$dir/compile_commands.json"
+  echo "=== [lint] multi-TU gate took $((SECONDS - t0))s ==="
   echo "=== [lint] OK ==="
 }
 

@@ -1,8 +1,12 @@
-// eucon_lint — the project's static checker CLI (v2).
+// eucon_lint — the project's static checker CLI (v3).
 //
-// All analysis lives in src/analysis (tokenizer, rule engine, output); this
-// file only parses flags and moves bytes. See docs/quality.md for the rule
-// catalogue, the suppression syntax, and the baseline workflow.
+// All analysis lives in src/analysis (tokenizer, rule engine, the
+// interprocedural call graph behind the *-in-realtime rules, output); this
+// file only parses flags and moves bytes. Finding paths are reported
+// relative to the enclosing repository root, so output and baselines are
+// identical no matter where the tool is invoked from. See docs/quality.md
+// for the rule catalogue, the suppression syntax, the EUCON_REALTIME
+// contract, and the baseline workflow.
 //
 //   eucon_lint [--format=text|json] [--baseline FILE] [--write-baseline]
 //              [--compile-commands FILE] [--list-rules] [--selftest DIR]
@@ -153,6 +157,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Finding> findings = run_lint(roots);
+  normalize_paths(findings);
 
   if (write_baseline) {
     std::cout << render_baseline(findings);
