@@ -29,6 +29,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -161,7 +162,7 @@ struct LsqlinFixture {
   std::vector<linalg::Vector> targets;  // cycled per call
   std::size_t next = 0;
 
-  explicit LsqlinFixture(std::size_t num_targets) {
+  explicit LsqlinFixture(std::size_t num_targets, double target_scale = 0.4) {
     const auto spec = workloads::medium();
     const auto model = control::make_plant_model(spec);
     const auto params = workloads::medium_controller_params();
@@ -182,7 +183,8 @@ struct LsqlinFixture {
     targets.reserve(num_targets);
     for (std::size_t t = 0; t < num_targets; ++t) {
       linalg::Vector d(c.rows());
-      for (std::size_t r = 0; r < d.size(); ++r) d[r] = rng.uniform(-0.4, 0.4);
+      for (std::size_t r = 0; r < d.size(); ++r)
+        d[r] = rng.uniform(-target_scale, target_scale);
       targets.push_back(std::move(d));
     }
   }
@@ -221,6 +223,27 @@ SectionResult bench_lsqlin_solver_warm(std::size_t warmup, std::size_t iters) {
   });
 }
 
+// The active-set QP solve itself, fast path forced off: targets large
+// enough that the unconstrained minimizer always violates the rate box, so
+// every call runs qp::solve_qp against the cached Hessian with a warm
+// working set. This is the section the persistent-workspace rewrite is
+// gated on (docs/performance.md).
+SectionResult bench_qp_solve_warm(std::size_t warmup, std::size_t iters) {
+  LsqlinFixture fx(16, /*target_scale=*/3.0);
+  qp::LsqlinSolver solver(fx.c);
+  qp::WarmStart warm;
+  bool saw_fast_path = false;
+  SectionResult r = time_section("qp_solve_warm", warmup, iters, [&] {
+    const qp::LsqlinResult res =
+        solver.solve(fx.next_target(), fx.a, fx.b, nullptr, {}, &warm);
+    saw_fast_path = saw_fast_path || res.fast_path;
+    sink(res.residual_norm);
+  });
+  EUCON_REQUIRE(!saw_fast_path,
+                "qp_solve_warm fixture failed to force the active-set path");
+  return r;
+}
+
 // One full closed-loop sampling period of MEDIUM: simulate Ts, sample,
 // control, actuate.
 SectionResult bench_closed_loop(std::size_t warmup, std::size_t iters) {
@@ -245,12 +268,23 @@ SectionResult bench_closed_loop(std::size_t warmup, std::size_t iters) {
 // Batch engine throughput
 // ---------------------------------------------------------------------------
 
+struct BatchScalingPoint {
+  std::size_t workers = 0;
+  double runs_per_sec = 0.0;
+};
+
 struct BatchResult {
   std::size_t runs = 0;
-  std::size_t workers = 0;
+  std::size_t workers = 0;  // worker count of the headline parallel pass
   double serial_runs_per_sec = 0.0;
   double parallel_runs_per_sec = 0.0;
-  double speedup = 0.0;
+  // Speedup claims are only honest when the machine can actually run
+  // workers in parallel. On a 1-core box the pool measures queueing
+  // overhead, not scaling, so `speedup` is withheld (JSON null) and
+  // `speedup_claimed` is false — the check.sh --perf gate enforces this.
+  bool speedup_claimed = false;
+  double speedup = 0.0;  // meaningful only when speedup_claimed
+  std::vector<BatchScalingPoint> scaling;  // pooled throughput per worker count
 };
 
 BatchResult bench_batch(std::size_t runs, int periods) {
@@ -268,34 +302,60 @@ BatchResult bench_batch(std::size_t runs, int periods) {
     specs.push_back({"run" + std::to_string(i), cfg});
   }
 
+  const std::size_t hw = ThreadPool::default_workers();
   BatchOptions serial;
   serial.serial = true;
-  BatchOptions pooled;  // num_workers = 0 -> one per hardware thread
 
-  // One untimed pass of each path as warmup (page-in, allocator steady
-  // state), then a timed pass.
+  // One untimed serial pass as warmup (page-in, allocator steady state),
+  // then a timed pass.
   (void)run_batch(specs, serial);
-  (void)run_batch(specs, pooled);
-
   const auto s0 = SteadyClock::now();
   (void)run_batch(specs, serial);
   const auto s1 = SteadyClock::now();
-  (void)run_batch(specs, pooled);
-  const auto s2 = SteadyClock::now();
-
   const double serial_s = std::chrono::duration<double>(s1 - s0).count();
-  const double par_s = std::chrono::duration<double>(s2 - s1).count();
+
   BatchResult r;
   r.runs = runs;
-  r.workers = ThreadPool::default_workers();
+  r.workers = hw;
   r.serial_runs_per_sec = static_cast<double>(runs) / serial_s;
-  r.parallel_runs_per_sec = static_cast<double>(runs) / par_s;
-  r.speedup = r.parallel_runs_per_sec /
-              std::max(r.serial_runs_per_sec, 1e-12);
-  std::printf("batch_engine                 runs=%zu workers=%zu "
-              "serial=%.2f runs/s parallel=%.2f runs/s speedup=%.2fx\n",
-              r.runs, r.workers, r.serial_runs_per_sec,
-              r.parallel_runs_per_sec, r.speedup);
+
+  // Pooled throughput at 1, 2, 4, ... workers up to hardware_concurrency
+  // (always including hardware_concurrency itself): the multi-core scaling
+  // curve, not just one end point.
+  std::vector<std::size_t> worker_counts;
+  for (std::size_t w = 1; w < hw; w *= 2) worker_counts.push_back(w);
+  worker_counts.push_back(hw);
+  for (const std::size_t w : worker_counts) {
+    BatchOptions pooled;
+    pooled.num_workers = w;
+    (void)run_batch(specs, pooled);  // warmup pass per worker count
+    const auto t0 = SteadyClock::now();
+    (void)run_batch(specs, pooled);
+    const auto t1 = SteadyClock::now();
+    const double pooled_s = std::chrono::duration<double>(t1 - t0).count();
+    r.scaling.push_back({w, static_cast<double>(runs) / pooled_s});
+  }
+  r.parallel_runs_per_sec = r.scaling.back().runs_per_sec;
+
+  r.speedup_claimed = hw > 1;
+  if (r.speedup_claimed) {
+    r.speedup = r.parallel_runs_per_sec /
+                std::max(r.serial_runs_per_sec, 1e-12);
+    std::printf("batch_engine                 runs=%zu workers=%zu "
+                "serial=%.2f runs/s parallel=%.2f runs/s speedup=%.2fx\n",
+                r.runs, r.workers, r.serial_runs_per_sec,
+                r.parallel_runs_per_sec, r.speedup);
+  } else {
+    std::printf("batch_engine                 runs=%zu workers=%zu "
+                "serial=%.2f runs/s parallel=%.2f runs/s "
+                "speedup=withheld (1-core machine measures queueing "
+                "overhead, not scaling)\n",
+                r.runs, r.workers, r.serial_runs_per_sec,
+                r.parallel_runs_per_sec);
+  }
+  for (const BatchScalingPoint& p : r.scaling)
+    std::printf("  batch_scaling workers=%-3zu %.2f runs/s\n", p.workers,
+                p.runs_per_sec);
   return r;
 }
 
@@ -348,7 +408,7 @@ void write_report(const std::string& path,
   std::ofstream out(path);
   EUCON_REQUIRE(out.good(), "cannot open JSON report path: " + path);
   out << "{\n";
-  out << "  \"schema_version\": 1,\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"generated_by\": \"bench_perf\",\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"hardware_concurrency\": " << ThreadPool::default_workers()
@@ -376,8 +436,24 @@ void write_report(const std::string& path,
       << ",\n";
   out << "    \"parallel_runs_per_sec\": "
       << json_number(batch.parallel_runs_per_sec) << ",\n";
-  out << "    \"speedup\": " << json_number(batch.speedup) << "\n";
+  // The honesty contract: a 1-core run writes null, never a number — the
+  // schema validator and check.sh --perf both reject a report that claims
+  // a speedup it could not have measured.
+  out << "    \"speedup_claimed\": "
+      << (batch.speedup_claimed ? "true" : "false") << ",\n";
+  if (batch.speedup_claimed)
+    out << "    \"speedup\": " << json_number(batch.speedup) << "\n";
+  else
+    out << "    \"speedup\": null\n";
   out << "  },\n";
+  out << "  \"batch_scaling\": [\n";
+  for (std::size_t i = 0; i < batch.scaling.size(); ++i) {
+    const BatchScalingPoint& p = batch.scaling[i];
+    out << "    {\"workers\": " << p.workers << ", \"runs_per_sec\": "
+        << json_number(p.runs_per_sec) << "}"
+        << (i + 1 < batch.scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"obs\": {\n";
   out << "    \"compiled_in\": " << (obs_report.compiled_in ? "true" : "false")
       << ",\n";
@@ -435,6 +511,14 @@ class JsonReader {
   bool has_bool(const std::string& path) const {
     return bools_.count(path) > 0;
   }
+  bool bool_at(const std::string& path) const {
+    const auto it = bools_.find(path);
+    EUCON_REQUIRE(it != bools_.end(), "missing bool key: " + path);
+    return it->second;
+  }
+  bool has_null(const std::string& path) const {
+    return nulls_.count(path) > 0;
+  }
   std::size_t array_size(const std::string& path) const {
     const auto it = arrays_.find(path);
     EUCON_REQUIRE(it != arrays_.end(), "missing array key: " + path);
@@ -454,6 +538,11 @@ class JsonReader {
       strings_[path] = parse_string();
     } else if (c == 't' || c == 'f') {
       parse_bool(path);
+    } else if (c == 'n') {
+      EUCON_REQUIRE(text_.compare(pos_, 4, "null") == 0,
+                    "invalid JSON literal at byte " + std::to_string(pos_));
+      nulls_.insert(path);
+      pos_ += 4;
     } else {
       parse_number(path);
     }
@@ -564,6 +653,7 @@ class JsonReader {
   std::map<std::string, double> numbers_;
   std::map<std::string, std::string> strings_;
   std::map<std::string, bool> bools_;
+  std::set<std::string> nulls_;
   std::map<std::string, std::size_t> arrays_;
 };
 
@@ -594,8 +684,8 @@ int validate_report(const std::string& path) {
     }
   };
   need(reader.has_number("schema_version") &&
-           reader.number("schema_version") > 0.5,
-       "schema_version missing or < 1");
+           reader.number("schema_version") > 1.5,
+       "schema_version missing or < 2");
   need(reader.has_string("generated_by"), "generated_by missing");
   need(reader.has_bool("smoke"), "smoke flag missing");
   need(reader.has_number("hardware_concurrency") &&
@@ -608,7 +698,7 @@ int validate_report(const std::string& path) {
   } catch (const std::exception&) {
     // handled by the need() below
   }
-  need(benches >= 4, "benchmarks must hold at least the four core sections");
+  need(benches >= 5, "benchmarks must hold at least the five core sections");
   for (std::size_t i = 0; i < benches; ++i) {
     const std::string p = "benchmarks[" + std::to_string(i) + "]";
     need(reader.has_string(p + ".name"), "benchmark entry lacks name");
@@ -625,10 +715,50 @@ int validate_report(const std::string& path) {
   }
   for (const char* key :
        {"batch.runs", "batch.workers", "batch.serial_runs_per_sec",
-        "batch.parallel_runs_per_sec", "batch.speedup"}) {
+        "batch.parallel_runs_per_sec"}) {
     need(reader.has_number(key) && std::isfinite(reader.number(key)) &&
              reader.number(key) > 0.0,
          (std::string(key) + " missing or non-positive").c_str());
+  }
+  // The multi-core honesty rules: hardware_concurrency == 1 must publish
+  // speedup as null (a 1-core pool run measures queueing overhead, not
+  // scaling); > 1 must publish a real positive number. batch_scaling must
+  // cover worker counts 1..hardware_concurrency.
+  need(reader.has_bool("batch.speedup_claimed"),
+       "batch.speedup_claimed missing");
+  const bool multi_core = reader.has_number("hardware_concurrency") &&
+                          reader.number("hardware_concurrency") > 1.5;
+  if (multi_core) {
+    need(reader.has_bool("batch.speedup_claimed") &&
+             reader.bool_at("batch.speedup_claimed"),
+         "multi-core run must claim a measured speedup");
+    need(reader.has_number("batch.speedup") &&
+             std::isfinite(reader.number("batch.speedup")) &&
+             reader.number("batch.speedup") > 0.0,
+         "batch.speedup missing or non-positive on a multi-core run");
+  } else {
+    need(reader.has_bool("batch.speedup_claimed") &&
+             !reader.bool_at("batch.speedup_claimed"),
+         "1-core run must not claim a speedup");
+    need(reader.has_null("batch.speedup"),
+         "batch.speedup must be null on a 1-core run");
+  }
+  std::size_t scaling_points = 0;
+  try {
+    scaling_points = reader.array_size("batch_scaling");
+  } catch (const std::exception&) {
+    // handled by the need() below
+  }
+  need(scaling_points >= 1, "batch_scaling must hold at least one point");
+  for (std::size_t i = 0; i < scaling_points; ++i) {
+    const std::string p = "batch_scaling[" + std::to_string(i) + "]";
+    need(reader.has_number(p + ".workers") &&
+             reader.number(p + ".workers") >= 1.0,
+         (p + ".workers missing or < 1").c_str());
+    need(reader.has_number(p + ".runs_per_sec") &&
+             std::isfinite(reader.number(p + ".runs_per_sec")) &&
+             reader.number(p + ".runs_per_sec") > 0.0,
+         (p + ".runs_per_sec missing or non-positive").c_str());
   }
   need(reader.has_bool("obs.compiled_in"), "obs.compiled_in missing");
   for (const char* key :
@@ -674,6 +804,7 @@ int main(int argc, char** argv) {
   sections.push_back(bench_mpc_update_observed(warmup, iters, obs_registry));
   sections.push_back(bench_lsqlin_oneshot(warmup, iters));
   sections.push_back(bench_lsqlin_solver_warm(warmup, iters));
+  sections.push_back(bench_qp_solve_warm(warmup, iters));
   sections.push_back(bench_closed_loop(smoke ? 2 : 10, loop_iters));
   const BatchResult batch = bench_batch(batch_runs, batch_periods);
   const ObsReport obs_report =

@@ -26,8 +26,14 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::ensure_accepting() const {
-  EUCON_REQUIRE(!stopping_, "submit() on a ThreadPool that is shutting down");
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const MutexLock lock(mutex_);
+    EUCON_REQUIRE(!stopping_,
+                  "submit() on a ThreadPool that is shutting down");
+    queue_.push(std::move(task));
+  }
+  wake_.notify_one();
 }
 
 void ThreadPool::worker_loop() {

@@ -47,12 +47,7 @@ class ThreadPool {
     // so the task rides in a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    {
-      const MutexLock lock(mutex_);
-      ensure_accepting();
-      queue_.emplace([task]() { (*task)(); });
-    }
-    wake_.notify_one();
+    enqueue([task]() { (*task)(); });
     return future;
   }
 
@@ -62,9 +57,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  // Precondition-checks that the pool is not shutting down (throws via the
-  // project's check helpers; lives in the .cpp to keep this header light).
-  void ensure_accepting() const EUCON_REQUIRES(mutex_);
+  // One atomic admission step: takes the lock, refuses (throws via the
+  // project's check helpers) when the pool is shutting down, enqueues, and
+  // notifies a worker. Keeping the shutdown check and the queue insert
+  // under the same critical section means the check can never race the
+  // destructor's stopping_ write — there is no unlocked path to stopping_.
+  void enqueue(std::function<void()> task);
 
   mutable Mutex mutex_;
   CondVar wake_;

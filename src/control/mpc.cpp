@@ -177,6 +177,10 @@ void MpcController::rebuild_constraint_templates() {
   EUCON_ASSERT(row0 == util_rows + rate_rows,
                "MPC constraint template row mismatch");
 
+  // Size the QP workspace for the larger template here, off the hot path:
+  // update() then solves either instance without allocating.
+  qp_ws_.reserve(cols, util_rows + rate_rows);
+
   // A model change invalidates the carried working sets.
   warm_full_.working.clear();
   warm_rates_.working.clear();
@@ -320,7 +324,8 @@ const Vector& MpcController::update(const Vector& u) {
   qp::WarmStart& warm = util_rows ? warm_full_ : warm_rates_;
   {
     OBS_TIMED(metrics_, "qp.solve");
-    solver_.solve_into(d_, a, b_scratch_, x0, params_.solver, &warm, result_);
+    solver_.solve_into(d_, a, b_scratch_, x0, params_.solver, &warm, qp_ws_,
+                       result_);
   }
   last_status_ = result_.status;
   last_iterations_ = result_.iterations;

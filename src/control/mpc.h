@@ -199,6 +199,9 @@ class MpcController final : public Controller {
   qp::LsqlinResult result_;  // per-period solver result (x reused as scratch)
   qp::WarmStart warm_full_;
   qp::WarmStart warm_rates_;
+  // Active-set QP scratch, reserved for the larger constraint template so a
+  // period's solve — fast path miss included — never touches the heap.
+  qp::QpWorkspace qp_ws_;
 };
 
 }  // namespace eucon::control

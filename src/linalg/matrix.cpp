@@ -94,8 +94,22 @@ void Matrix::set_col(std::size_t c, const Vector& v) {
 void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
   EUCON_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
                 "set_block out of range");
-  for (std::size_t r = 0; r < b.rows(); ++r)
-    for (std::size_t c = 0; c < b.cols(); ++c) (*this)(r0 + r, c0 + c) = b(r, c);
+  // Both operands are row-major, so each block row is one contiguous copy.
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    const double* src = b.row_ptr(r);
+    std::copy(src, src + b.cols(), row_ptr(r0 + r) + c0);
+  }
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // Steady-state no-op: scratch callers preallocate the maximum shape once.
+  data_.resize(rows * cols);  // eucon-lint: allow(allocation-in-realtime)
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
 }
 
 Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nrows,
@@ -231,6 +245,16 @@ void gram_into(const Matrix& a, Matrix& out) {
     }
   }
   EUCON_CHECK_FINITE_MAT("gram_into", out);
+}
+
+double row_dot(const Matrix& a, std::size_t r, const Vector& x) {
+  EUCON_REQUIRE(r < a.rows() && a.cols() == x.size(), "row_dot size mismatch");
+  const double* row = a.row_ptr(r);
+  const double* xd = x.data().data();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * xd[j];
+  EUCON_CHECK_FINITE_SCALAR("row_dot", acc);
+  return acc;
 }
 
 bool approx_equal(const Matrix& a, const Matrix& b, double tol) {

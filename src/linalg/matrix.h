@@ -40,6 +40,17 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  // Raw pointer to the start of row r (rows are contiguous).
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  // Re-dimensions the matrix in place; contents become unspecified. Scratch
+  // buffers constructed once at their maximum shape can be reshaped per use
+  // without touching the heap (shrinking never releases capacity).
+  void reshape(std::size_t rows, std::size_t cols) EUCON_REALTIME;
+  // Sets every entry to `value`.
+  void fill(double value) EUCON_REALTIME;
+
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s);
@@ -85,6 +96,10 @@ void multiply_into(const Matrix& a, const Vector& x, Vector& out) EUCON_REALTIME
 void transpose_times_into(const Matrix& a, const Vector& x,
                           Vector& out) EUCON_REALTIME;
 void gram_into(const Matrix& a, Matrix& out) EUCON_REALTIME;
+
+// Dot product of row r of `a` with `x` as one contiguous kernel — the shared
+// inner loop of constraint-violation checks and working-set admission.
+double row_dot(const Matrix& a, std::size_t r, const Vector& x) EUCON_REALTIME;
 
 bool approx_equal(const Matrix& a, const Matrix& b, double tol);
 

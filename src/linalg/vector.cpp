@@ -18,6 +18,15 @@ double Vector::at(std::size_t i) const {
   return data_[i];
 }
 
+void Vector::reshape(std::size_t n) {
+  // Steady-state no-op: scratch callers preallocate the maximum size once.
+  data_.resize(n);  // eucon-lint: allow(allocation-in-realtime)
+}
+
+void Vector::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
 Vector& Vector::operator+=(const Vector& rhs) {
   EUCON_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
   for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];

@@ -29,6 +29,13 @@ class Vector {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  // Re-dimensions in place; contents become unspecified. Scratch vectors
+  // constructed once at their maximum size can be reshaped per use without
+  // touching the heap (shrinking never releases capacity).
+  void reshape(std::size_t n) EUCON_REALTIME;
+  // Sets every entry to `value`.
+  void fill(double value) EUCON_REALTIME;
+
   Vector& operator+=(const Vector& rhs);
   Vector& operator-=(const Vector& rhs);
   Vector& operator*=(double s);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "common/check.h"
 #include "linalg/lu.h"
@@ -15,57 +14,66 @@ using linalg::Lu;
 using linalg::Matrix;
 using linalg::Vector;
 
-double objective_value(const Matrix& h, const Vector& f, const Vector& x) {
-  return 0.5 * x.dot(h * x) + f.dot(x);
+// 0.5 x'Hx + f'x without materializing H x (`hx` is caller scratch).
+double objective_value(const Matrix& h, const Vector& f, const Vector& x,
+                       Vector& hx) {
+  linalg::multiply_into(h, x, hx);
+  return 0.5 * x.dot(hx) + f.dot(x);
 }
 
 // Solves the equality-constrained subproblem
 //   min 0.5 (x+p)'H(x+p) + f'(x+p)   s.t.  a_i p = 0 for i in working set
-// via the KKT system. Returns false when the KKT matrix is singular (the
-// working-set rows are linearly dependent).
-bool solve_eqp(const Matrix& h, const Vector& g /* = Hx + f */, const Matrix& a,
-               const std::vector<std::size_t>& working, Vector& p,
-               Vector& lambda) {
-  const std::size_t n = h.rows();
-  const std::size_t w = working.size();
-  Matrix kkt(n + w, n + w);
-  kkt.set_block(0, 0, h);
-  for (std::size_t k = 0; k < w; ++k) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const double v = a(working[k], j);
-      kkt(n + k, j) = v;
-      kkt(j, n + k) = v;
-    }
+// via the KKT system, assembled at its live dimension n + wcount inside the
+// workspace's max-dimension storage and factored in place. On success the
+// step is in ws.p and the multipliers in ws.lambda. Returns false when the
+// KKT matrix is singular (the working-set rows are linearly dependent).
+bool solve_eqp_into(const Matrix& a, std::size_t n, std::size_t wcount,
+                    QpWorkspace& ws) EUCON_REALTIME {
+  const std::size_t live = n + wcount;
+  ws.kkt.reshape(live, live);
+  // Top-left H block: one contiguous copy per row, zero-filled border tail.
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* src = ws.h_reg.row_ptr(r);
+    double* dst = ws.kkt.row_ptr(r);
+    std::copy(src, src + n, dst);
+    std::fill(dst + n, dst + live, 0.0);
   }
-  Vector rhs(n + w);
-  for (std::size_t j = 0; j < n; ++j) rhs[j] = -g[j];
+  // Constraint borders: row n+k and column n+k both carry a_{working[k]}.
+  for (std::size_t k = 0; k < wcount; ++k) {
+    const double* arow = a.row_ptr(ws.working[k]);
+    double* krow = ws.kkt.row_ptr(n + k);
+    std::copy(arow, arow + n, krow);
+    std::fill(krow + n, krow + live, 0.0);
+    for (std::size_t j = 0; j < n; ++j) ws.kkt(j, n + k) = arow[j];
+  }
+  ws.rhs.reshape(live);
+  for (std::size_t j = 0; j < n; ++j) ws.rhs[j] = -ws.g[j];
+  for (std::size_t k = 0; k < wcount; ++k) ws.rhs[n + k] = 0.0;
 
-  Lu lu(kkt);
-  if (!lu.invertible()) return false;
-  const Vector sol = lu.solve(rhs);
-  p = Vector(n);
-  lambda = Vector(w);
-  for (std::size_t j = 0; j < n; ++j) p[j] = sol[j];
-  for (std::size_t k = 0; k < w; ++k) lambda[k] = sol[n + k];
+  if (!Lu::factor_into(ws.kkt, ws.piv)) return false;
+  Lu::solve_into(ws.kkt, ws.piv, ws.rhs, ws.sol);
+  ws.p.reshape(n);
+  ws.lambda.reshape(wcount);
+  for (std::size_t j = 0; j < n; ++j) ws.p[j] = ws.sol[j];
+  for (std::size_t k = 0; k < wcount; ++k) ws.lambda[k] = ws.sol[n + k];
   return true;
 }
 
-}  // namespace
+void phase1_impl(const Matrix& a, const Vector& b, const Options& opts,
+                 QpWorkspace& ws, Result& out) EUCON_REALTIME;
 
-double max_violation(const Matrix& a, const Vector& b, const Vector& x) {
-  double worst = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double lhs = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) lhs += a(i, j) * x[j];
-    worst = std::max(worst, lhs - b[i]);
-  }
-  return worst;
-}
-
-Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
-                const Vector& b, const Vector* x0, const Options& opts,
-                WarmStart* warm) {
+// The solver core. Identical contract to solve_qp_into but without the
+// workspace-capacity precondition check, so the phase-1 recursion can run
+// the auxiliary problem (vars + cons variables, 2*cons constraints) in the
+// same workspace: its buffers are reserved for exactly that worst case, and
+// the recursion cannot nest further because the auxiliary call always has a
+// starting point.
+void solve_qp_impl(const Matrix& h_in, const Vector& f, const Matrix& a,
+                   const Vector& b, const Vector* x0, const Options& opts,
+                   WarmStart* warm, QpWorkspace& ws,
+                   Result& out) EUCON_REALTIME {
   const std::size_t n = f.size();
+  const std::size_t m = a.rows();
   EUCON_REQUIRE(h_in.rows() == n && h_in.cols() == n, "H size mismatch");
   EUCON_REQUIRE(a.rows() == b.size(), "A/b size mismatch");
   EUCON_REQUIRE(a.rows() == 0 || a.cols() == n, "A column count mismatch");
@@ -74,92 +82,108 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
   EUCON_CHECK_FINITE_MAT("solve_qp input A", a);
   EUCON_CHECK_FINITE_VEC("solve_qp input b", b);
 
-  // Regularize H so every KKT system with independent rows is nonsingular.
-  Matrix h = h_in;
-  for (std::size_t i = 0; i < n; ++i) h(i, i) += opts.regularization;
+  out.status = Status::kMaxIterations;
+  out.iterations = 0;
+  out.objective = 0.0;
 
-  Result res;
   // Starting point.
   if (x0 != nullptr) {
     EUCON_REQUIRE(x0->size() == n, "x0 size mismatch");
     EUCON_REQUIRE(max_violation(a, b, *x0) <= 1e2 * opts.constraint_tol + 1e-12,
                   "x0 is not feasible");
-    res.x = *x0;
-  } else if (a.rows() == 0) {
-    res.x = Vector(n);
+    out.x = *x0;
+  } else if (m == 0) {
+    out.x.reshape(n);
+    out.x.fill(0.0);
   } else {
-    Result phase1 = find_feasible_point(a, b, opts);
-    if (phase1.status != Status::kOptimal) {
-      phase1.status = Status::kInfeasible;
-      return phase1;
+    phase1_impl(a, b, opts, ws, out);
+    if (out.status != Status::kOptimal) {
+      out.status = Status::kInfeasible;
+      return;
     }
-    res.x = phase1.x;
+    out.status = Status::kMaxIterations;
   }
+  const int phase1_iters = out.iterations;
+
+  // Regularize H so every KKT system with independent rows is nonsingular.
+  ws.h_reg.reshape(n, n);
+  std::copy(h_in.data().begin(), h_in.data().end(), ws.h_reg.data().begin());
+  for (std::size_t i = 0; i < n; ++i) ws.h_reg(i, i) += opts.regularization;
 
   // Active-set iteration. A warm start seeds the working set with the
   // previous solve's active constraints — but only those actually active at
   // the starting point, since holding a slack constraint as an equality
   // would let the solver terminate at a point violating complementary
-  // slackness.
-  std::vector<std::size_t> working;  // indices of constraints held active
+  // slackness. The working set lives in the fixed-capacity ws.working
+  // buffer (live prefix of length wcount) with ws.in_working membership
+  // flags replacing linear searches.
+  std::size_t wcount = 0;
+  std::fill(ws.in_working.begin(), ws.in_working.begin() + m,
+            static_cast<unsigned char>(0));
   if (warm != nullptr) {
     for (std::size_t i : warm->working) {
-      if (i >= a.rows()) continue;
-      if (std::find(working.begin(), working.end(), i) != working.end())
-        continue;
-      double a_x = 0.0;
-      for (std::size_t j = 0; j < n; ++j) a_x += a(i, j) * res.x[j];
-      if (std::abs(a_x - b[i]) <= 1e2 * opts.constraint_tol * (1.0 + std::abs(b[i])))
-        working.push_back(i);
+      if (i >= m) continue;
+      if (ws.in_working[i]) continue;
+      const double a_x = linalg::row_dot(a, i, out.x);
+      if (std::abs(a_x - b[i]) <=
+          1e2 * opts.constraint_tol * (1.0 + std::abs(b[i]))) {
+        ws.working[wcount++] = i;
+        ws.in_working[i] = 1;
+      }
     }
   }
-  Vector p, lambda;
-  Vector g(n);  // gradient scratch, reused across iterations
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    res.iterations = iter + 1;
-    multiply_into(h, res.x, g);
-    g += f;
-    if (!solve_eqp(h, g, a, working, p, lambda)) {
+    out.iterations = phase1_iters + iter + 1;
+    linalg::multiply_into(ws.h_reg, out.x, ws.g);
+    ws.g += f;
+    if (!solve_eqp_into(a, n, wcount, ws)) {
       // Dependent working set (can happen right after adding a blocking
       // constraint parallel to existing ones): drop the newest member.
-      EUCON_ASSERT(!working.empty(), "singular KKT with empty working set");
-      working.pop_back();
+      EUCON_ASSERT(wcount > 0, "singular KKT with empty working set");
+      --wcount;
+      ws.in_working[ws.working[wcount]] = 0;
       continue;
     }
 
-    if (p.norm_inf() <= opts.step_tol * (1.0 + res.x.norm_inf())) {
+    if (ws.p.norm_inf() <= opts.step_tol * (1.0 + out.x.norm_inf())) {
       // Stationary on the working set: check multipliers.
       int most_negative = -1;
-      double worst = -opts.multiplier_tol * (1.0 + lambda.norm_inf());
-      for (std::size_t k = 0; k < working.size(); ++k) {
-        if (lambda[k] < worst) {
-          worst = lambda[k];
+      double worst = -opts.multiplier_tol * (1.0 + ws.lambda.norm_inf());
+      for (std::size_t k = 0; k < wcount; ++k) {
+        if (ws.lambda[k] < worst) {
+          worst = ws.lambda[k];
           most_negative = eucon::narrow<int>(k);
         }
       }
       if (most_negative < 0) {
-        res.status = Status::kOptimal;
-        res.objective = objective_value(h_in, f, res.x);
-        if (warm != nullptr) warm->working = working;
-        EUCON_CHECK_FINITE_VEC("solve_qp result", res.x);
-        return res;
+        out.status = Status::kOptimal;
+        out.objective = objective_value(h_in, f, out.x, ws.g);
+        if (warm != nullptr)
+          warm->working.assign(ws.working.begin(),
+                               ws.working.begin() + wcount);
+        EUCON_CHECK_FINITE_VEC("solve_qp result", out.x);
+        return;
       }
-      working.erase(working.begin() + most_negative);
+      const std::size_t drop = static_cast<std::size_t>(most_negative);
+      ws.in_working[ws.working[drop]] = 0;
+      for (std::size_t k = drop; k + 1 < wcount; ++k)
+        ws.working[k] = ws.working[k + 1];
+      --wcount;
       continue;
     }
 
-    // Line search toward x + p, blocked by inactive constraints.
+    // Line search toward x + p, blocked by inactive constraints. Rows
+    // already in the working set are skipped before their dots are
+    // computed (they satisfy a_i'p = 0 by construction, so they can
+    // never block); each surviving row is a contiguous row_dot.
     double alpha = 1.0;
     int blocking = -1;
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-      if (std::find(working.begin(), working.end(), i) != working.end())
-        continue;
-      double a_p = 0.0, a_x = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        a_p += a(i, j) * p[j];
-        a_x += a(i, j) * res.x[j];
-      }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (ws.in_working[i]) continue;
+      const double a_p = linalg::row_dot(a, i, ws.p);
       if (a_p <= 1e-13) continue;  // moving away or parallel
+      const double a_x = linalg::row_dot(a, i, out.x);
       const double room = std::max(0.0, b[i] - a_x);
       const double step = room / a_p;
       if (step < alpha) {
@@ -168,64 +192,145 @@ Result solve_qp(const Matrix& h_in, const Vector& f, const Matrix& a,
       }
     }
 
-    if (alpha > 0.0) linalg::add_scaled(res.x, alpha, p);
-    if (blocking >= 0) working.push_back(static_cast<std::size_t>(blocking));
+    if (alpha > 0.0) linalg::add_scaled(out.x, alpha, ws.p);
+    if (blocking >= 0) {
+      ws.working[wcount++] = static_cast<std::size_t>(blocking);
+      ws.in_working[static_cast<std::size_t>(blocking)] = 1;
+    }
   }
 
-  res.status = Status::kMaxIterations;
-  res.objective = objective_value(h_in, f, res.x);
-  EUCON_CHECK_FINITE_VEC("solve_qp result", res.x);
-  return res;
+  out.status = Status::kMaxIterations;
+  out.objective = objective_value(h_in, f, out.x, ws.g);
+  // Write the final working set back even on the iteration-limit exit: a
+  // stale warm start would re-seed the next period from a set that no
+  // longer matches the returned iterate.
+  if (warm != nullptr)
+    warm->working.assign(ws.working.begin(), ws.working.begin() + wcount);
+  EUCON_CHECK_FINITE_VEC("solve_qp result", out.x);
 }
 
-Result find_feasible_point(const Matrix& a, const Vector& b,
-                           const Options& opts) {
+// Phase-1: finds x with A x <= b by solving the auxiliary QP over z = [x; s]
+//   min 0.5*eps*||x||^2 + 0.5*||s||^2
+//   s.t. A x - s <= b,  -s <= 0
+// (x = 0, s_i = max(0, -b_i)) is always feasible; at the optimum s is the
+// (least-squares) constraint violation, which is 0 iff Ax <= b is feasible.
+// Built in the workspace's aux buffers and solved through the same scratch
+// as the outer problem (which has not started iterating yet). Writes the
+// point, status, and auxiliary iteration count into `out`.
+void phase1_impl(const Matrix& a, const Vector& b, const Options& opts,
+                 QpWorkspace& ws, Result& out) {
   const std::size_t n = a.cols();
   const std::size_t m = a.rows();
-  Result out;
+  out.objective = 0.0;
   if (m == 0) {
-    out.x = Vector(n);
+    out.x.reshape(n);
+    out.x.fill(0.0);
     out.status = Status::kOptimal;
-    return out;
+    out.iterations = 0;
+    return;
   }
 
-  // Auxiliary QP over z = [x; s]:
-  //   min 0.5*eps*||x||^2 + 0.5*||s||^2
-  //   s.t. A x - s <= b,  -s <= 0
-  // (x = 0, s_i = max(0, -b_i)) is always feasible; at the optimum s is the
-  // (least-squares) constraint violation, which is 0 iff Ax <= b is feasible.
   const double eps = 1e-8;
-  Matrix h(n + m, n + m);
-  for (std::size_t j = 0; j < n; ++j) h(j, j) = eps;
-  for (std::size_t i = 0; i < m; ++i) h(n + i, n + i) = 1.0;
-  Vector f(n + m);
+  const std::size_t naux = n + m;
+  ws.aux_h.reshape(naux, naux);
+  ws.aux_h.fill(0.0);
+  for (std::size_t j = 0; j < n; ++j) ws.aux_h(j, j) = eps;
+  for (std::size_t i = 0; i < m; ++i) ws.aux_h(n + i, n + i) = 1.0;
+  ws.aux_f.reshape(naux);
+  ws.aux_f.fill(0.0);
 
-  Matrix aa(2 * m, n + m);
-  Vector bb(2 * m);
+  ws.aux_a.reshape(2 * m, naux);
+  ws.aux_a.fill(0.0);
+  ws.aux_b.reshape(2 * m);
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) aa(i, j) = a(i, j);
-    aa(i, n + i) = -1.0;
-    bb[i] = b[i];
-    aa(m + i, n + i) = -1.0;
-    bb[m + i] = 0.0;
+    const double* arow = a.row_ptr(i);
+    std::copy(arow, arow + n, ws.aux_a.row_ptr(i));
+    ws.aux_a(i, n + i) = -1.0;
+    ws.aux_b[i] = b[i];
+    ws.aux_a(m + i, n + i) = -1.0;
+    ws.aux_b[m + i] = 0.0;
   }
-  Vector z0(n + m);
-  for (std::size_t i = 0; i < m; ++i) z0[n + i] = std::max(0.0, -b[i]);
+  ws.aux_z0.reshape(naux);
+  ws.aux_z0.fill(0.0);
+  for (std::size_t i = 0; i < m; ++i) ws.aux_z0[n + i] = std::max(0.0, -b[i]);
 
-  Options aux = opts;
-  aux.max_iterations = std::max(opts.max_iterations, 2000);
-  const Result aux_res = solve_qp(h, f, aa, bb, &z0, aux);
+  Options aux_opts = opts;
+  aux_opts.max_iterations = std::max(opts.max_iterations, 2000);
+  solve_qp_impl(ws.aux_h, ws.aux_f, ws.aux_a, ws.aux_b, &ws.aux_z0, aux_opts,
+                nullptr, ws, ws.aux_result);
 
-  Vector x(n);
-  for (std::size_t j = 0; j < n; ++j) x[j] = aux_res.x[j];
-  out.x = x;
-  out.iterations = aux_res.iterations;
-  const double viol = max_violation(a, b, x);
+  out.x.reshape(n);
+  for (std::size_t j = 0; j < n; ++j) out.x[j] = ws.aux_result.x[j];
+  out.iterations = ws.aux_result.iterations;
+  const double viol = max_violation(a, b, out.x);
   // The auxiliary problem shrinks but never exactly zeroes tiny violations
   // (eps-regularized); accept anything within a loose multiple of the
   // feasibility tolerance.
   out.status = viol <= 1e3 * opts.constraint_tol ? Status::kOptimal
                                                  : Status::kInfeasible;
+}
+
+}  // namespace
+
+void QpWorkspace::reserve(std::size_t vars, std::size_t cons) {
+  if (vars <= max_vars_ && cons <= max_cons_) return;
+  max_vars_ = std::max(max_vars_, vars);
+  max_cons_ = std::max(max_cons_, cons);
+  // Worst case across the outer problem and its phase-1 auxiliary problem
+  // (vars + cons variables, 2*cons constraints, so KKT systems of dimension
+  // up to vars + 3*cons when every auxiliary constraint goes active).
+  const std::size_t nmax = max_vars_ + max_cons_;
+  const std::size_t mmax = 2 * max_cons_;
+  const std::size_t kmax = nmax + mmax;
+  h_reg = linalg::Matrix(nmax, nmax);
+  kkt = linalg::Matrix(kmax, kmax);
+  rhs = linalg::Vector(kmax);
+  sol = linalg::Vector(kmax);
+  g = linalg::Vector(nmax);
+  p = linalg::Vector(nmax);
+  lambda = linalg::Vector(mmax);
+  working.assign(mmax, 0);
+  in_working.assign(mmax, 0);
+  piv.assign(kmax, 0);
+  aux_h = linalg::Matrix(nmax, nmax);
+  aux_a = linalg::Matrix(mmax, nmax);
+  aux_f = linalg::Vector(nmax);
+  aux_b = linalg::Vector(mmax);
+  aux_z0 = linalg::Vector(nmax);
+  aux_result.x = linalg::Vector(nmax);
+}
+
+double max_violation(const Matrix& a, const Vector& b, const Vector& x) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    worst = std::max(worst, linalg::row_dot(a, i, x) - b[i]);
+  return worst;
+}
+
+void solve_qp_into(const Matrix& h, const Vector& f, const Matrix& a,
+                   const Vector& b, const Vector* x0, const Options& opts,
+                   WarmStart* warm, QpWorkspace& ws, Result& out) {
+  EUCON_REQUIRE(f.size() <= ws.max_vars() && a.rows() <= ws.max_cons(),
+                "QpWorkspace too small; reserve(vars, cons) first");
+  solve_qp_impl(h, f, a, b, x0, opts, warm, ws, out);
+}
+
+Result solve_qp(const Matrix& h, const Vector& f, const Matrix& a,
+                const Vector& b, const Vector* x0, const Options& opts,
+                WarmStart* warm) {
+  QpWorkspace ws;
+  ws.reserve(f.size(), a.rows());
+  Result out;
+  solve_qp_impl(h, f, a, b, x0, opts, warm, ws, out);
+  return out;
+}
+
+Result find_feasible_point(const Matrix& a, const Vector& b,
+                           const Options& opts) {
+  QpWorkspace ws;
+  ws.reserve(a.cols(), a.rows());
+  Result out;
+  phase1_impl(a, b, opts, ws, out);
   return out;
 }
 

@@ -8,7 +8,9 @@
 //
 // The working-set subproblems are solved through the full KKT system with
 // LU; problem sizes in EUCON are small (tens of variables/constraints), so
-// robustness is preferred over factorization updates.
+// robustness is preferred over factorization updates. All per-iteration
+// state lives in a caller-owned QpWorkspace sized by the maximum problem
+// shape, so a steady-state solve performs zero heap allocations.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +42,7 @@ enum class Status {
 struct Result {
   linalg::Vector x;
   Status status = Status::kMaxIterations;
+  // Total active-set iterations, including any phase-1 feasibility solve.
   int iterations = 0;
   double objective = 0.0;  // 0.5 x'Hx + f'x at the returned x
 };
@@ -50,27 +53,74 @@ struct Result {
 // period's solution skips the iterations that would rediscover it. On
 // entry, indices are kept only where the constraint is actually active at
 // the starting point (anything else would break complementary slackness);
-// on exit the final working set is written back. An empty set is always a
-// valid (cold) start.
+// on exit the final working set is written back — on every exit path, so a
+// kMaxIterations result still leaves the warm start consistent with the
+// returned iterate. An empty set is always a valid (cold) start.
 struct WarmStart {
   std::vector<std::size_t> working;
 };
 
-// Solves the QP. If `x0` is non-null it must be feasible (within
-// constraint_tol) and is used as the starting point; otherwise an internal
-// phase-1 problem computes a feasible start (or proves infeasibility).
-// A may have zero rows (unconstrained problem).
+// Persistent scratch for solve_qp_into. Every buffer is preallocated to the
+// maximum shape reserve() has seen — including the phase-1 auxiliary problem
+// over z = [x; s], which has vars + cons variables and 2*cons constraints —
+// so a solve within those bounds never touches the heap. reserve() is
+// growth-only; call it at setup / model-rebuild time, off the realtime path.
 //
-// Hatched for the realtime lint: the active-set iteration allocates KKT
-// workspaces sized by the working set, which changes shape between
-// iterations. It runs on the EUCON_REALTIME path only when the cached-QR
-// fast path misses (a transient, not the steady state); eliminating its
-// allocations needs a workspace-reuse rewrite tracked in ROADMAP.md.
+// The underscore-free members are solver internals: owned by solve_qp_into,
+// valid only during a solve, and not part of the public surface.
+struct QpWorkspace {
+  QpWorkspace() = default;
+
+  // Sizes the workspace for problems with up to `vars` variables and `cons`
+  // inequality constraints (phase-1 headroom included). Growth-only.
+  void reserve(std::size_t vars, std::size_t cons);
+
+  std::size_t max_vars() const { return max_vars_; }
+  std::size_t max_cons() const { return max_cons_; }
+
+  std::size_t max_vars_ = 0;
+  std::size_t max_cons_ = 0;
+
+  // Main-loop scratch (live dimensions set per solve / per iteration).
+  linalg::Matrix h_reg;   // regularized Hessian copy, n×n live
+  linalg::Matrix kkt;     // KKT system, (n+w)×(n+w) live
+  linalg::Vector rhs;     // KKT right-hand side
+  linalg::Vector sol;     // KKT solution [p; lambda]
+  linalg::Vector g;       // gradient H x + f (and objective scratch)
+  linalg::Vector p;       // step
+  linalg::Vector lambda;  // working-set multipliers
+  std::vector<std::size_t> working;     // fixed-capacity index buffer; the
+                                        // live prefix is the working set
+  std::vector<unsigned char> in_working;  // per-constraint membership flags
+  std::vector<std::size_t> piv;         // LU row permutation
+
+  // Phase-1 scratch: the auxiliary problem and its result.
+  linalg::Matrix aux_h;
+  linalg::Matrix aux_a;
+  linalg::Vector aux_f;
+  linalg::Vector aux_b;
+  linalg::Vector aux_z0;
+  Result aux_result;
+};
+
+// Solves the QP into caller-owned storage. If `x0` is non-null it must be
+// feasible (within constraint_tol) and is used as the starting point;
+// otherwise an internal phase-1 problem computes a feasible start (or proves
+// infeasibility). A may have zero rows (unconstrained problem). `ws` must
+// have been reserved for at least (f.size(), a.rows()); `out.x` is reused as
+// scratch across calls, so repeated solves of same-shaped problems perform
+// no heap allocation at all.
+void solve_qp_into(const linalg::Matrix& h, const linalg::Vector& f,
+                   const linalg::Matrix& a, const linalg::Vector& b,
+                   const linalg::Vector* x0, const Options& opts,
+                   WarmStart* warm, QpWorkspace& ws, Result& out)
+    EUCON_REALTIME;
+
+// One-shot convenience wrapper: allocates a workspace per call.
 Result solve_qp(const linalg::Matrix& h, const linalg::Vector& f,
                 const linalg::Matrix& a, const linalg::Vector& b,
                 const linalg::Vector* x0 = nullptr, const Options& opts = {},
-                WarmStart* warm = nullptr)
-    EUCON_ALLOC_OK("KKT workspaces resize with the working set; QP path is off the steady state");
+                WarmStart* warm = nullptr);
 
 // Finds any x with A x <= b (phase-1). Status is kOptimal on success with
 // the point in `x`, kInfeasible otherwise.

@@ -76,15 +76,16 @@ void LsqlinSolver::reset(linalg::Matrix c) {
 LsqlinResult LsqlinSolver::solve(const Vector& d, const Matrix& a,
                                  const Vector& b, const Vector* x0,
                                  const Options& opts, WarmStart* warm) {
+  ws_.reserve(c_.cols(), a.rows());  // growth-only; no-op across same shapes
   LsqlinResult out;
-  solve_into(d, a, b, x0, opts, warm, out);
+  solve_into(d, a, b, x0, opts, warm, ws_, out);
   return out;
 }
 
 void LsqlinSolver::solve_into(const Vector& d, const Matrix& a,
                               const Vector& b, const Vector* x0,
                               const Options& opts, WarmStart* warm,
-                              LsqlinResult& out) {
+                              QpWorkspace& ws, LsqlinResult& out) {
   EUCON_REQUIRE(d.size() == c_.rows(), "LsqlinSolver: C/d size mismatch");
   EUCON_REQUIRE(a.rows() == b.size(), "LsqlinSolver: A/b size mismatch");
   EUCON_REQUIRE(a.rows() == 0 || a.cols() == c_.cols(),
@@ -113,10 +114,10 @@ void LsqlinSolver::solve_into(const Vector& d, const Matrix& a,
 
   linalg::transpose_times_into(c_, d, f_);
   f_ *= -2.0;
-  const Result qp_res = solve_qp(h_, f_, a, b, x0, opts, warm);
-  out.x = qp_res.x;
-  out.status = qp_res.status;
-  out.iterations = qp_res.iterations;
+  solve_qp_into(h_, f_, a, b, x0, opts, warm, ws, qp_scratch_);
+  out.x = qp_scratch_.x;
+  out.status = qp_scratch_.status;
+  out.iterations = qp_scratch_.iterations;
   out.fast_path = false;
   if (!out.x.empty()) {
     multiply_into(c_, out.x, resid_);

@@ -68,13 +68,13 @@ class LsqlinSolver {
                      const Options& opts = {}, WarmStart* warm = nullptr);
 
   // Allocation-free variant for per-period callers: writes into a
-  // caller-owned result whose x is reused as scratch across solves. On the
-  // cached-QR fast path this performs zero heap allocations in steady
-  // state; the active-set QP path still allocates internally (hatched —
-  // see the EUCON_ALLOC_OK on qp::solve_qp).
+  // caller-owned result whose x is reused as scratch across solves. Both
+  // the cached-QR fast path and the active-set QP path perform zero heap
+  // allocations in steady state — the QP runs entirely inside `ws`, which
+  // the caller owns and must have reserved for (c.cols(), a.rows()).
   void solve_into(const linalg::Vector& d, const linalg::Matrix& a,
                   const linalg::Vector& b, const linalg::Vector* x0,
-                  const Options& opts, WarmStart* warm,
+                  const Options& opts, WarmStart* warm, QpWorkspace& ws,
                   LsqlinResult& out) EUCON_REALTIME;
 
  private:
@@ -84,6 +84,8 @@ class LsqlinSolver {
   linalg::Vector f_;   // scratch: -2 C'd
   linalg::Vector resid_;  // scratch: C x - d
   linalg::Vector y_;      // scratch: Q^T d for the fast path
+  Result qp_scratch_;  // persistent QP result, x reused across solves
+  QpWorkspace ws_;     // workspace for the solve() convenience overload
 };
 
 }  // namespace eucon::qp

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -88,6 +89,56 @@ TEST(ThreadPoolTest, VoidTasksWork) {
   auto f = pool.submit([&ran] { ran.store(true); });
   f.get();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownCheckIsAtomicWithAdmission) {
+  // TSan regression for the shutdown/submit race: producers hammer submit()
+  // while the destructor runs. Admission must check stopping_ and insert
+  // into the queue under one critical section, so every submit either lands
+  // a task (which teardown then drains) or throws std::invalid_argument —
+  // and TSan (check.sh --tsan) sees no unlocked read of stopping_.
+  //
+  // A blocker task pins the destructor inside its join until the producers
+  // have been joined, so no producer can touch the pool after its members
+  // are gone (the destructor cannot finish while the blocker spins). The
+  // producers work through a raw pointer captured before the race starts;
+  // only the destroyer thread touches the unique_ptr itself.
+  for (int round = 0; round < 4; ++round) {
+    std::atomic<bool> release{false};
+    std::atomic<int> accepted{0};
+    std::atomic<int> refused{0};
+    auto pool = std::make_unique<ThreadPool>(2);
+    ThreadPool* const raw = pool.get();
+    raw->submit([&release] {
+      while (!release.load())
+        std::this_thread::sleep_for(  // eucon-lint: allow(blocking-in-callback)
+            std::chrono::microseconds(50));
+    });
+
+    std::vector<std::thread> producers;  // eucon-lint: allow(detached-thread)
+    producers.reserve(3);
+    for (int t = 0; t < 3; ++t) {
+      producers.emplace_back([raw, &accepted, &refused] {
+        for (int i = 0; i < 100; ++i) {
+          try {
+            raw->submit([] {});
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::invalid_argument&) {
+            refused.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    std::thread destroyer(  // eucon-lint: allow(detached-thread)
+        [&pool] { pool.reset(); });
+    for (auto& p : producers) p.join();
+    release.store(true);
+    destroyer.join();
+    // Every attempt resolved one way or the other; no task was lost in the
+    // check-then-insert window and no submit slipped past a stopped pool.
+    EXPECT_EQ(accepted.load() + refused.load(), 300);
+  }
 }
 
 TEST(ThreadPoolTest, SubmitFromMultipleThreads) {

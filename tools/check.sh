@@ -35,6 +35,7 @@
 #   tools/check.sh --coverage  # coverage preset + line-coverage gate only
 #   tools/check.sh --lint      # lint gate + clang thread-safety build only
 #   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
+#   tools/check.sh --perf      # bench_perf --smoke + BENCH_PERF.json honesty gate
 #
 # Each preset builds into build-<preset>/ (gitignored). Exit status is
 # nonzero as soon as any preset fails.
@@ -165,6 +166,47 @@ run_faults() {
   configure_build_test tsan --tests "$FAULT_TESTS" -DEUCON_SANITIZE=thread
 }
 
+# Perf smoke gate: builds bench_perf, runs the self-validating --smoke pass
+# (schema + honesty rules on the freshly emitted report), then holds the
+# *checked-in* BENCH_PERF.json to the multi-core honesty rules: a 1-core
+# report must withhold the batch speedup (null, unclaimed); a multi-core
+# report must claim one and clear the 1.1x floor — below that the pool is
+# not paying for itself and the published numbers are misleading.
+run_perf() {
+  local dir="$ROOT/build-default"
+  echo "=== [perf] build bench_perf ==="
+  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target bench_perf
+  echo "=== [perf] bench_perf --smoke (self-validating report) ==="
+  "$dir/bench/bench_perf" --smoke --json "$dir/bench_perf_smoke.json"
+  echo "=== [perf] checked-in BENCH_PERF.json honesty gate ==="
+  python3 - "$ROOT/BENCH_PERF.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+if rep.get("schema_version", 0) < 2:
+    sys.exit("BENCH_PERF.json: schema_version < 2; regenerate with bench_perf")
+hw = rep["hardware_concurrency"]
+batch = rep["batch"]
+claimed = batch.get("speedup_claimed", False)
+speedup = batch.get("speedup")
+if hw <= 1:
+    if claimed or speedup is not None:
+        sys.exit("BENCH_PERF.json: report generated on a 1-core machine "
+                 "must not claim a batch speedup (speedup must be null)")
+else:
+    if not claimed or speedup is None:
+        sys.exit("BENCH_PERF.json: multi-core report must publish a "
+                 "measured batch speedup")
+    if speedup < 1.1:
+        sys.exit("BENCH_PERF.json: batch speedup %.2fx on %d cores is "
+                 "below the 1.1x floor; regenerate and investigate before "
+                 "publishing" % (speedup, hw))
+print("BENCH_PERF.json: hw=%d speedup_claimed=%s -> OK" % (hw, claimed))
+EOF
+  echo "=== [perf] OK ==="
+}
+
 MODE="all"
 TSAN=0
 for arg in "$@"; do
@@ -174,9 +216,10 @@ for arg in "$@"; do
     --tidy) MODE="tidy" ;;
     --coverage) MODE="coverage" ;;
     --faults) MODE="faults" ;;
+    --perf) MODE="perf" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
-      sed -n '2,37p' "$0"
+      sed -n '2,38p' "$0"
       exit 0
       ;;
     *)
@@ -199,6 +242,9 @@ case "$MODE" in
     ;;
   faults)
     run_faults
+    ;;
+  perf)
+    run_perf
     ;;
   fast)
     run_lint
