@@ -1,0 +1,228 @@
+// Lock-graph construction: mutex name qualification, the may-held-on-entry
+// fixpoint, acquisition-order edges, cycle enumeration, and the chain
+// rendering shared by the three lock rules. See lockgraph.h for the model.
+#include "analysis/lockgraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eucon::analysis {
+
+namespace {
+
+// DFS step of the simple-cycle enumeration. Cycles are discovered from
+// their lexicographically smallest node only (every other node on the path
+// must compare greater), so each cycle is emitted exactly once and the
+// output order is independent of edge insertion order.
+void cycle_dfs(const std::map<std::string, std::vector<const LgEdge*>>& adj,
+               const std::string& start, const std::string& cur,
+               std::vector<const LgEdge*>& path,
+               std::set<std::string>& on_path,
+               std::vector<std::vector<const LgEdge*>>& out) {
+  const auto it = adj.find(cur);
+  if (it == adj.end()) return;
+  for (const LgEdge* e : it->second) {
+    if (e->second == start) {
+      path.push_back(e);
+      out.push_back(path);
+      path.pop_back();
+      continue;
+    }
+    if (e->second <= start || on_path.count(e->second)) continue;
+    on_path.insert(e->second);
+    path.push_back(e);
+    cycle_dfs(adj, start, e->second, path, on_path, out);
+    path.pop_back();
+    on_path.erase(e->second);
+  }
+}
+
+}  // namespace
+
+std::string LockGraph::qualify(const CgFunction& fn, const std::string& raw) {
+  if (raw.find('.') != std::string::npos ||
+      raw.find("->") != std::string::npos)
+    return fn.qname + "::" + raw;  // a local object's member: per-function
+  if (raw.find("::") != std::string::npos) return raw;  // already qualified
+  const std::size_t pos = fn.qname.rfind("::");
+  if (pos == std::string::npos) return raw;
+  return fn.qname.substr(0, pos) + "::" + raw;
+}
+
+std::string LockGraph::display(const std::string& qname) {
+  std::size_t pos = qname.rfind("::");
+  if (pos == std::string::npos || pos == 0) return qname;
+  pos = qname.rfind("::", pos - 1);
+  return pos == std::string::npos ? qname : qname.substr(pos + 2);
+}
+
+LockGraph::LockGraph(const CallGraph& graph) : g_(graph) {
+  const std::vector<CgFunction>& fns = g_.functions();
+  required_.resize(fns.size());
+  entry_.resize(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i)
+    for (const std::string& raw : fns[i].lock_requires)
+      required_[i].push_back(qualify(fns[i], raw));
+
+  // Qualified-name iteration order: the fixpoint's first-writer-wins
+  // provenance (and thus every diagnostic chain) must not depend on
+  // add_file order.
+  std::vector<std::size_t> order(fns.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fns[a].qname < fns[b].qname;
+  });
+
+  // May-held-on-entry fixpoint. A callee may be entered with everything the
+  // caller holds at the call site: its own entry set, its EUCON_REQUIRES
+  // preconditions, and the locks held lexically at the call. Self-edges are
+  // skipped: the conservative member-leaf resolution routinely points
+  // `x_.clear()` inside Registry::clear back at Registry::clear itself, and
+  // a recursion-with-lock bug is the order analysis's job anyway.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t i : order) {
+      const CgFunction& fn = fns[i];
+      for (const CgCall& call : fn.calls) {
+        for (const std::size_t t : call.targets) {
+          if (t == i) continue;
+          std::map<std::string, LgEntryProv>& dst = entry_[t];
+          const auto add = [&](const std::string& m, LgEntryProv::How how) {
+            if (dst.emplace(m, LgEntryProv{i, call.line, how}).second)
+              changed = true;
+          };
+          for (const std::string& raw : call.held)
+            add(qualify(fn, raw), LgEntryProv::kLocal);
+          for (const std::string& m : required_[i])
+            add(m, LgEntryProv::kRequires);
+          for (const auto& [m, prov] : entry_[i])
+            add(m, LgEntryProv::kInherited);
+        }
+      }
+    }
+  }
+
+  // Acquisition-order edges: each blocking acquisition of `second` while
+  // `first` may be held contributes first-before-second. One representative
+  // edge per pair, first writer (in qualified-name order) wins.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const std::size_t i : order) {
+    const CgFunction& fn = fns[i];
+    for (const CgAcquire& acq : fn.acquires) {
+      if (!acq.blocking) continue;
+      const std::string second = qualify(fn, acq.mutex);
+      std::set<std::string> held;
+      for (const std::string& raw : acq.held_before)
+        held.insert(qualify(fn, raw));
+      for (const std::string& m : required_[i]) held.insert(m);
+      for (const auto& [m, prov] : entry_[i]) held.insert(m);
+      for (const std::string& first : held) {
+        if (first == second) continue;
+        if (!seen.insert({first, second}).second) continue;
+        edges_.push_back(
+            {first, second, false, i, acq.file, acq.line, acq.col});
+      }
+    }
+  }
+  for (const CgDeclaredOrder& d : g_.declared_order()) {
+    if (!seen.insert({d.first, d.second}).second) continue;
+    edges_.push_back({d.first, d.second, true, 0, d.file, d.line, 0});
+  }
+}
+
+std::vector<std::string> LockGraph::effective_held(
+    std::size_t fn, const std::vector<std::string>& local_raw) const {
+  std::set<std::string> out;
+  for (const std::string& raw : local_raw)
+    out.insert(qualify(g_.functions()[fn], raw));
+  for (const std::string& m : required_[fn]) out.insert(m);
+  for (const auto& [m, prov] : entry_[fn]) out.insert(m);
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::vector<const LgEdge*>> LockGraph::cycles() const {
+  std::map<std::string, std::vector<const LgEdge*>> adj;
+  for (const LgEdge& e : edges_) adj[e.first].push_back(&e);
+  for (auto& [node, out] : adj)
+    std::sort(out.begin(), out.end(), [](const LgEdge* a, const LgEdge* b) {
+      return a->second < b->second;
+    });
+  std::vector<std::vector<const LgEdge*>> out;
+  for (const auto& [start, unused] : adj) {
+    std::vector<const LgEdge*> path;
+    std::set<std::string> on_path = {start};
+    cycle_dfs(adj, start, start, path, on_path, out);
+  }
+  return out;
+}
+
+std::string LockGraph::hold_chain(std::size_t fn,
+                                  const std::string& mutex) const {
+  const std::vector<CgFunction>& fns = g_.functions();
+  struct Hop {
+    std::size_t callee = 0;
+    std::size_t line = 0;
+  };
+  std::vector<Hop> hops;  // innermost (fn-side) first
+  std::set<std::size_t> seen = {fn};
+  std::size_t cur = fn;
+  std::string root;
+  for (;;) {
+    const CgFunction& f = fns[cur];
+    const CgAcquire* local = nullptr;
+    for (const CgAcquire& a : f.acquires) {
+      if (qualify(f, a.mutex) == mutex) {
+        local = &a;
+        break;
+      }
+    }
+    if (local != nullptr) {
+      root = display(f.qname) + " acquires '" + mutex + "' (" + local->file +
+             ":" + std::to_string(local->line) + ")";
+      break;
+    }
+    if (std::find(required_[cur].begin(), required_[cur].end(), mutex) !=
+        required_[cur].end()) {
+      root = display(f.qname) + " EUCON_REQUIRES '" + mutex + "'";
+      break;
+    }
+    const auto it = entry_[cur].find(mutex);
+    if (it == entry_[cur].end()) {
+      root = display(f.qname) + " holds '" + mutex + "'";
+      break;
+    }
+    hops.push_back({cur, it->second.call_line});
+    cur = it->second.from;
+    if (!seen.insert(cur).second) {  // provenance loop: stop at the repeat
+      root = display(fns[cur].qname) + " holds '" + mutex + "'";
+      break;
+    }
+  }
+  std::string out = root;
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it)
+    out += " -> calls " + display(fns[it->callee].qname) + " (line " +
+           std::to_string(it->line) + ")";
+  return out;
+}
+
+bool LockGraph::hold_chain_hatched(std::size_t fn,
+                                   const std::string& mutex) const {
+  const std::vector<CgFunction>& fns = g_.functions();
+  constexpr int kBlock = static_cast<int>(RtCategory::kBlock);
+  std::set<std::size_t> seen;
+  std::size_t cur = fn;
+  while (seen.insert(cur).second) {
+    if (fns[cur].ok[kBlock]) return true;
+    const auto it = entry_[cur].find(mutex);
+    if (it == entry_[cur].end()) return false;
+    // A locally re-acquired mutex roots the chain here even if an entry
+    // provenance also exists; prefer the shorter local chain.
+    for (const CgAcquire& a : fns[cur].acquires)
+      if (qualify(fns[cur], a.mutex) == mutex) return false;
+    cur = it->second.from;
+  }
+  return false;
+}
+
+}  // namespace eucon::analysis

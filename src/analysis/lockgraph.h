@@ -1,0 +1,112 @@
+// Interprocedural lock graph for eucon_lint's lock rule family.
+//
+// LockGraph is built over a finalized CallGraph from the lock facts the
+// extractor recorded per function (RAII scopes, explicit lock()/unlock(),
+// EUCON_REQUIRES preconditions, blocking sites). It computes:
+//
+//  - a may-held-on-entry set per function: the mutexes some caller can hold
+//    while calling it, propagated to a fixpoint along the resolved call
+//    edges with provenance (which caller, which call site) so diagnostics
+//    can print the full chain from the acquiring root;
+//  - the global mutex acquisition graph: one first-before-second edge per
+//    blocking acquisition performed while another mutex is held (try_lock
+//    acquisitions never appear as the blocked side), unioned with the
+//    orderings declared via EUCON_ACQUIRED_BEFORE;
+//  - simple cycles of that graph — each one a potential deadlock — plus the
+//    chain rendering the rules in lock_rules.cpp embed in findings.
+//
+// Mutex identity is scope-qualified: a member or global name keys under the
+// function's enclosing scope ("mutex_" in any eucon::ThreadPool method is
+// eucon::ThreadPool::mutex_, so all methods of one class agree), while a
+// dotted expression ("progress.mu") keys under the function itself — local
+// lock objects in different functions never alias. Like the call graph
+// itself this is conservative and over-approximate: extra edges are
+// possible, dropped ones are not (within the lexer's view of the code).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+
+namespace eucon::analysis {
+
+// How a mutex came to be (possibly) held on entry to a function: the caller
+// that propagated it and how that caller itself held it.
+struct LgEntryProv {
+  std::size_t from = 0;       // caller index into CallGraph::functions()
+  std::size_t call_line = 0;  // call-site line in the caller
+  enum How {
+    kLocal,     // the caller acquired it in its own body
+    kRequires,  // the caller declares it via EUCON_REQUIRES
+    kInherited  // the caller was itself entered with it held
+  } how = kLocal;
+};
+
+// One first-before-second edge of the mutex acquisition graph.
+struct LgEdge {
+  std::string first;
+  std::string second;
+  bool declared = false;  // EUCON_ACQUIRED_BEFORE vs observed in code
+  // Provenance: for an observed edge, functions()[fn] acquires `second` at
+  // file:line:col while holding `first`; for a declared edge, the
+  // annotation's location (fn/col unused).
+  std::size_t fn = 0;
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+class LockGraph {
+ public:
+  // Builds entry sets, edges, and provenance. `graph` must be finalized.
+  explicit LockGraph(const CallGraph& graph);
+
+  // Scope-qualified identity for a mutex spelled `raw` inside `fn`; see the
+  // header comment for the keying rules.
+  static std::string qualify(const CgFunction& fn, const std::string& raw);
+
+  // Diagnostic name: the last two qualified-name components.
+  static std::string display(const std::string& qname);
+
+  const std::map<std::string, LgEntryProv>& entry_held(std::size_t fn) const {
+    return entry_[fn];
+  }
+  const std::vector<std::string>& required(std::size_t fn) const {
+    return required_[fn];
+  }
+
+  // Everything possibly held at a point in `fn` where `local_raw` (spelled
+  // names from the body) is held: entry set ∪ EUCON_REQUIRES ∪ local,
+  // qualified, sorted, deduplicated.
+  std::vector<std::string> effective_held(
+      std::size_t fn, const std::vector<std::string>& local_raw) const;
+
+  const std::vector<LgEdge>& edges() const { return edges_; }
+
+  // Simple cycles of the acquisition graph, deterministic and deduplicated.
+  // Each cycle is a closed edge sequence: cycle[i]->second ==
+  // cycle[i+1]->first, wrapping at the end.
+  std::vector<std::vector<const LgEdge*>> cycles() const;
+
+  // Root-first narrative of how `mutex` (qualified) is held at `fn`:
+  // "ThreadPool::enqueue acquires 'eucon::ThreadPool::mutex_'
+  // (src/common/thread_pool.cpp:31) -> calls helper (line 34)".
+  std::string hold_chain(std::size_t fn, const std::string& mutex) const;
+
+  // True when the provenance chain of `mutex` at `fn` passes through an
+  // EUCON_BLOCK_OK-hatched function (a trust boundary for the
+  // blocking-while-locked rule; order edges ignore hatches).
+  bool hold_chain_hatched(std::size_t fn, const std::string& mutex) const;
+
+ private:
+  const CallGraph& g_;
+  std::vector<std::vector<std::string>> required_;        // qualified, per fn
+  std::vector<std::map<std::string, LgEntryProv>> entry_;  // per fn
+  std::vector<LgEdge> edges_;
+};
+
+}  // namespace eucon::analysis

@@ -134,6 +134,17 @@ void normalize_paths(std::vector<Finding>& findings) {
   }
 }
 
+void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.message < b.message;
+                   });
+}
+
 std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
                                     Baseline baseline,
                                     std::size_t& suppressed) {
@@ -185,11 +196,21 @@ std::string render_text(const std::vector<Finding>& findings) {
 
 std::string render_json(const std::vector<Finding>& findings,
                         std::size_t baseline_suppressed) {
+  std::map<std::string, std::size_t> rule_counts;
+  for (const Finding& f : findings) ++rule_counts[f.rule];
   std::ostringstream out;
   out << "{\n"
-      << "  \"version\": 2,\n"
+      << "  \"version\": 3,\n"
       << "  \"count\": " << findings.size() << ",\n"
       << "  \"baseline_suppressed\": " << baseline_suppressed << ",\n"
+      << "  \"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : rule_counts) {
+    out << (first ? "" : ", ") << "\"" << json_escape(rule)
+        << "\": " << count;
+    first = false;
+  }
+  out << "},\n"
       << "  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];

@@ -57,6 +57,13 @@ std::filesystem::path find_repo_root(const std::filesystem::path& start);
 // original path, lexically normalized.
 void normalize_paths(std::vector<Finding>& findings);
 
+// Canonical finding order: path -> line -> col -> rule -> message. run_lint
+// sorts before returning, but path normalization can reorder relative to
+// the raw paths the sort saw — callers must re-sort after normalize_paths
+// so multi-TU runs (e.g. over compile_commands.json, whose entry order is
+// a build-system artifact) emit byte-identical reports.
+void sort_findings(std::vector<Finding>& findings);
+
 // Splits findings into kept (returned) and absorbed (counted); entries
 // absorb findings in order until their max_count is exhausted. Entries
 // containing '/' match the finding's full (normalized) path, other entries
@@ -73,7 +80,11 @@ std::string render_baseline(const std::vector<Finding>& findings);
 std::string render_text(const std::vector<Finding>& findings);
 
 // The machine-readable gate format:
-//   {"version": 2, "count": N, "baseline_suppressed": M, "findings": [...]}
+//   {"version": 3, "count": N, "baseline_suppressed": M,
+//    "rule_counts": {"<rule>": K, ...}, "findings": [...]}
+// rule_counts has one entry per rule with at least one finding, sorted by
+// rule name, so per-family burn-downs can be tracked without re-deriving
+// them from the findings array.
 std::string render_json(const std::vector<Finding>& findings,
                         std::size_t baseline_suppressed);
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/callgraph.h"
+#include "analysis/output.h"
 
 namespace fs = std::filesystem;
 
@@ -38,6 +39,14 @@ const std::vector<RuleInfo> kRegistry = {
      "lock/wait/sleep/IO/throw reachable from an EUCON_REALTIME function"},
     {"nondeterminism-in-realtime",
      "rand/time/clock read reachable from an EUCON_REALTIME function"},
+    {"lock-order-inversion",
+     "cycle in the mutex acquisition graph (or EUCON_EXCLUDES violated); "
+     "potential deadlock"},
+    {"blocking-while-locked",
+     "wait/join/sleep/IO reached with a mutex held (CondVar wait through "
+     "the MutexLock excepted)"},
+    {"callback-under-lock",
+     "user-supplied std::function field invoked with a mutex held"},
 };
 
 // Parses one comment token's suppression markers — e.g.
@@ -245,6 +254,9 @@ std::vector<Finding> lint_source(const std::string& display_path,
   std::vector<Finding> rt = graph.check_realtime();
   findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
                   std::make_move_iterator(rt.end()));
+  std::vector<Finding> lk = graph.check_locks();
+  findings.insert(findings.end(), std::make_move_iterator(lk.begin()),
+                  std::make_move_iterator(lk.end()));
   return findings;
 }
 
@@ -256,6 +268,9 @@ std::vector<Finding> lint_file(const fs::path& path) {
   std::vector<Finding> rt = graph.check_realtime();
   findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
                   std::make_move_iterator(rt.end()));
+  std::vector<Finding> lk = graph.check_locks();
+  findings.insert(findings.end(), std::make_move_iterator(lk.begin()),
+                  std::make_move_iterator(lk.end()));
   return findings;
 }
 
@@ -273,13 +288,10 @@ std::vector<Finding> run_lint(const std::vector<fs::path>& roots) {
   std::vector<Finding> rt = graph.check_realtime();
   findings.insert(findings.end(), std::make_move_iterator(rt.begin()),
                   std::make_move_iterator(rt.end()));
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              if (a.col != b.col) return a.col < b.col;
-              return a.rule < b.rule;
-            });
+  std::vector<Finding> lk = graph.check_locks();
+  findings.insert(findings.end(), std::make_move_iterator(lk.begin()),
+                  std::make_move_iterator(lk.end()));
+  sort_findings(findings);
   return findings;
 }
 

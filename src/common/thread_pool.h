@@ -39,9 +39,13 @@ class ThreadPool {
 
   // Enqueues `fn` and returns the future for its result. The callable runs
   // exactly once on some worker; exceptions it throws are delivered through
-  // the future. Safe to call from multiple threads.
+  // the future. Safe to call from multiple threads — but never with the
+  // pool's own lock held (EUCON_EXCLUDES: re-acquiring mutex_ here would
+  // self-deadlock; the lint's lock-order rule enforces the contract on
+  // every transitive caller).
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+      EUCON_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<std::decay_t<F>>;
     // packaged_task is move-only; std::function requires copyable targets,
     // so the task rides in a shared_ptr.
@@ -56,13 +60,13 @@ class ThreadPool {
   static std::size_t default_workers();
 
  private:
-  void worker_loop();
+  void worker_loop() EUCON_EXCLUDES(mutex_);
   // One atomic admission step: takes the lock, refuses (throws via the
   // project's check helpers) when the pool is shutting down, enqueues, and
   // notifies a worker. Keeping the shutdown check and the queue insert
   // under the same critical section means the check can never race the
   // destructor's stopping_ write — there is no unlocked path to stopping_.
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) EUCON_EXCLUDES(mutex_);
 
   mutable Mutex mutex_;
   CondVar wake_;

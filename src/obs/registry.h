@@ -74,32 +74,43 @@ class Registry {
   // above), and the map node allocation happens only the first time a name
   // is seen — steady-state increments hit an existing node.
 
+  // Every entry point also carries EUCON_EXCLUDES(mu_): calling a Registry
+  // method while already holding its lock (possible only from inside this
+  // class) would self-deadlock, and the lint's lock rules flag any
+  // transitive caller that tries.
+
   // Counters: monotone event tallies.
   void add(std::string_view name, std::uint64_t delta = 1) EUCON_REALTIME
-      EUCON_BLOCK_OK("one uncontended map-op mutex hold")
-          EUCON_ALLOC_OK("map node allocated on first use of a name only");
-  std::uint64_t counter(std::string_view name) const;
+      EUCON_EXCLUDES(mu_)
+          EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+              EUCON_ALLOC_OK("map node allocated on first use of a name only");
+  std::uint64_t counter(std::string_view name) const EUCON_EXCLUDES(mu_);
 
   // Gauges: last written value wins (also across threads; a gauge shared
   // between workers records *some* last value, use counters for totals).
   void set_gauge(std::string_view name, double value) EUCON_REALTIME
-      EUCON_BLOCK_OK("one uncontended map-op mutex hold")
-          EUCON_ALLOC_OK("map node allocated on first use of a name only");
-  double gauge(std::string_view name) const;  // 0.0 when never written
+      EUCON_EXCLUDES(mu_)
+          EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+              EUCON_ALLOC_OK("map node allocated on first use of a name only");
+  double gauge(std::string_view name) const
+      EUCON_EXCLUDES(mu_);  // 0.0 when never written
 
   // Timers: one duration sample per call.
   void record_duration_ns(std::string_view name, std::uint64_t ns)
-      EUCON_REALTIME EUCON_BLOCK_OK("one uncontended map-op mutex hold")
-          EUCON_ALLOC_OK("map node allocated on first use of a name only");
-  TimerStats timer(std::string_view name) const;  // zeroed when never written
+      EUCON_REALTIME EUCON_EXCLUDES(mu_)
+          EUCON_BLOCK_OK("one uncontended map-op mutex hold")
+              EUCON_ALLOC_OK("map node allocated on first use of a name only");
+  TimerStats timer(std::string_view name) const
+      EUCON_EXCLUDES(mu_);  // zeroed when never written
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const EUCON_EXCLUDES(mu_);
 
   // Drops every counter/gauge/timer (between bench sections). The hatch
   // mirrors the mutating entry points above: one uncontended mutex hold.
   // (The realtime call graph also reaches this node conservatively through
   // any `x.clear()` member call, e.g. on a std::vector.)
-  void clear() EUCON_BLOCK_OK("one uncontended map-op mutex hold");
+  void clear() EUCON_EXCLUDES(mu_)
+      EUCON_BLOCK_OK("one uncontended map-op mutex hold");
 
  private:
   mutable Mutex mu_;

@@ -1,0 +1,27 @@
+// Fixtures for blocking-while-locked: a sleep under a held MutexLock
+// (direct), a lock-free helper reached with the lock held (transitive —
+// the finding lands on the helper's blocking line with the caller chain),
+// the CondVar wait-through-the-MutexLock exception for both wait and
+// wait_for (no finding), and an EUCON_BLOCK_OK'd holder (no finding).
+Mutex bl_m;
+CondVar bl_cv;
+void bl_direct() {
+  MutexLock l(bl_m);
+  std::this_thread::sleep_for(ten_ms);
+}
+void bl_helper() {
+  std::this_thread::sleep_for(ten_ms);
+}
+void bl_outer() {
+  MutexLock l(bl_m);
+  bl_helper();
+}
+void bl_wait_ok() {
+  MutexLock lock(bl_m);
+  bl_cv.wait(lock);
+  bl_cv.wait_for(lock, ten_ms);
+}
+void bl_hatched() EUCON_BLOCK_OK("shutdown drain, lock uncontended") {
+  MutexLock l(bl_m);
+  std::this_thread::sleep_for(ten_ms);
+}

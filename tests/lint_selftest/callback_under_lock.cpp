@@ -1,0 +1,21 @@
+// Fixtures for callback-under-lock: a user-suppliable std::function field
+// invoked with a mutex held (finding — the callback could re-enter and
+// re-acquire), and the fixed shape: snapshot what the callback needs under
+// the lock, invoke after release (no finding).
+struct CuOptions {
+  std::function<void(int)> cu_on_event;
+};
+Mutex cu_m;
+int cu_state = 0;
+void cu_bad(CuOptions& o) {
+  MutexLock l(cu_m);
+  o.cu_on_event(cu_state);
+}
+void cu_good(CuOptions& o) {
+  int snap = 0;
+  {
+    MutexLock l(cu_m);
+    snap = cu_state;
+  }
+  o.cu_on_event(snap);
+}

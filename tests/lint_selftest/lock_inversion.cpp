@@ -1,0 +1,33 @@
+// Fixtures for lock-order-inversion: an A/B inversion between two
+// functions (one finding carrying both acquisition chains), a try_lock
+// acquisition that must not close a cycle, and an EUCON_EXCLUDES contract
+// violated with the excluded mutex held.
+Mutex li_a;
+Mutex li_b;
+Mutex li_c;
+void li_first() {
+  MutexLock l1(li_a);
+  MutexLock l2(li_b);
+}
+void li_second() {
+  MutexLock l1(li_b);
+  MutexLock l2(li_a);
+}
+// try_lock never blocks, so holding li_a while probing li_c adds no edge
+// even though li_rev takes them in the opposite order.
+void li_try() {
+  MutexLock l(li_a);
+  if (li_c.try_lock()) li_c.unlock();
+}
+void li_rev() {
+  MutexLock l1(li_c);
+  MutexLock l2(li_a);
+}
+struct LiPool {
+  void li_submit() EUCON_EXCLUDES(mu_) {}
+  void li_bad() {
+    MutexLock l(mu_);
+    li_submit();
+  }
+  Mutex mu_;
+};

@@ -1,0 +1,443 @@
+// Unit tests for the lock rule family (lock-order-inversion,
+// blocking-while-locked, callback-under-lock) and the LockGraph machinery
+// behind it: held-set propagation (lexical, EUCON_REQUIRES, interprocedural
+// entry sets), acquisition-graph cycle detection including 3-mutex cycles
+// and declared EUCON_ACQUIRED_BEFORE edges, try_lock handling, the
+// CondVar-wait-through-MutexLock exception, EUCON_BLOCK_OK trust
+// boundaries, EUCON_EXCLUDES contracts, line suppression, and determinism
+// of the report across file orders. Sources are linted in memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/lexer.h"
+#include "analysis/output.h"
+#include "analysis/rules.h"
+
+namespace ea = eucon::analysis;
+
+namespace {
+
+std::vector<ea::Finding> findings_for(const std::vector<ea::Finding>& all,
+                                      const std::string& rule) {
+  std::vector<ea::Finding> out;
+  for (const ea::Finding& f : all)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+// Tokenizes each (path, source) pair and runs only the interprocedural lock
+// checks — the same shape run_lint feeds from real files.
+std::vector<ea::Finding> lock_findings(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  ea::CallGraph g;
+  for (const auto& [path, src] : files) {
+    std::vector<ea::Token> code;
+    for (ea::Token& t : ea::tokenize(src))
+      if (t.kind != ea::TokenKind::kComment) code.push_back(std::move(t));
+    g.add_file(path, code, {});
+  }
+  g.finalize();
+  return g.check_locks();
+}
+
+// ---------------------------------------------------------------------------
+// lock-order-inversion: acquisition-graph cycles
+// ---------------------------------------------------------------------------
+
+TEST(LockOrderTest, TwoMutexInversionReportsBothChains) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a;\n"
+                                   "Mutex b;\n"
+                                   "void f() {\n"
+                                   "  MutexLock l1(a);\n"
+                                   "  MutexLock l2(b);\n"
+                                   "}\n"
+                                   "void g() {\n"
+                                   "  MutexLock l1(b);\n"
+                                   "  MutexLock l2(a);\n"
+                                   "}\n");
+  const auto f = findings_for(all, "lock-order-inversion");
+  ASSERT_EQ(f.size(), 1u);
+  // The ring names both mutexes, and each leg carries its own chain.
+  EXPECT_NE(f[0].message.find("'a' -> 'b' -> 'a'"), std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("f acquires 'a'"), std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("g acquires 'b'"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(LockOrderTest, ConsistentOrderIsClean) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a;\n"
+                                   "Mutex b;\n"
+                                   "void f() {\n"
+                                   "  MutexLock l1(a);\n"
+                                   "  MutexLock l2(b);\n"
+                                   "}\n"
+                                   "void g() {\n"
+                                   "  MutexLock l1(a);\n"
+                                   "  MutexLock l2(b);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "lock-order-inversion").empty());
+}
+
+TEST(LockOrderTest, ThreeMutexCycleReportedOnce) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a; Mutex b; Mutex c;\n"
+                                   "void f() { MutexLock x(a); MutexLock y(b); }\n"
+                                   "void g() { MutexLock x(b); MutexLock y(c); }\n"
+                                   "void h() { MutexLock x(c); MutexLock y(a); }\n");
+  const auto f = findings_for(all, "lock-order-inversion");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("'a' -> 'b' -> 'c' -> 'a'"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(LockOrderTest, TryLockDoesNotCreateAnEdge) {
+  // f takes b via try_lock while holding a: no blocking a->b edge, so the
+  // opposite order in g closes no cycle.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a; Mutex b;\n"
+                                   "void f() {\n"
+                                   "  MutexLock l(a);\n"
+                                   "  if (b.try_lock()) { b.unlock(); }\n"
+                                   "}\n"
+                                   "void g() {\n"
+                                   "  MutexLock l1(b);\n"
+                                   "  MutexLock l2(a);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "lock-order-inversion").empty());
+}
+
+TEST(LockOrderTest, InterproceduralInversionThroughHelper) {
+  // The second acquisition happens in a callee; the held set must flow
+  // along the call edge and the chain must show the hop.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a; Mutex b;\n"
+                                   "void take_b() { MutexLock l(b); }\n"
+                                   "void f() {\n"
+                                   "  MutexLock l(a);\n"
+                                   "  take_b();\n"
+                                   "}\n"
+                                   "void g() {\n"
+                                   "  MutexLock l1(b);\n"
+                                   "  MutexLock l2(a);\n"
+                                   "}\n");
+  const auto f = findings_for(all, "lock-order-inversion");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("f acquires 'a'"), std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("-> calls take_b"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(LockOrderTest, ScopeExitReleasesRaiiLocks) {
+  // a is released at the inner scope's '}', so taking b afterwards adds no
+  // a->b edge.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex a; Mutex b;\n"
+                                   "void f() {\n"
+                                   "  { MutexLock l(a); }\n"
+                                   "  MutexLock l2(b);\n"
+                                   "}\n"
+                                   "void g() {\n"
+                                   "  MutexLock l1(b);\n"
+                                   "  MutexLock l2(a);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "lock-order-inversion").empty());
+}
+
+TEST(LockOrderTest, DeclaredOrderContradictingCodeIsACycle) {
+  // EUCON_ACQUIRED_BEFORE(a before b) plus observed b-then-a: the declared
+  // edge and the observed edge close a cycle; the declared leg is rendered
+  // as a declaration, not a chain.
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct S {\n"
+                                   "  void f() {\n"
+                                   "    MutexLock l1(b);\n"
+                                   "    MutexLock l2(a);\n"
+                                   "  }\n"
+                                   "  Mutex a EUCON_ACQUIRED_BEFORE(b);\n"
+                                   "  Mutex b;\n"
+                                   "};\n");
+  const auto f = findings_for(all, "lock-order-inversion");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("EUCON_ACQUIRED_BEFORE declares 'S::a' "
+                              "before 'S::b'"),
+            std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("S::f acquires 'S::b'"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(LockOrderTest, DeclaredOrderMatchingCodeIsClean) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct S {\n"
+                                   "  void f() {\n"
+                                   "    MutexLock l1(a);\n"
+                                   "    MutexLock l2(b);\n"
+                                   "  }\n"
+                                   "  Mutex a EUCON_ACQUIRED_BEFORE(b);\n"
+                                   "  Mutex b;\n"
+                                   "};\n");
+  EXPECT_TRUE(findings_for(all, "lock-order-inversion").empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-order-inversion: EUCON_EXCLUDES contracts
+// ---------------------------------------------------------------------------
+
+TEST(LockExcludesTest, CallWithExcludedMutexHeldFires) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct Pool {\n"
+                                   "  void submit() EUCON_EXCLUDES(mu_) {}\n"
+                                   "  void bad() {\n"
+                                   "    MutexLock l(mu_);\n"
+                                   "    submit();\n"
+                                   "  }\n"
+                                   "  Mutex mu_;\n"
+                                   "};\n");
+  const auto f = findings_for(all, "lock-order-inversion");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 5u);
+  EXPECT_NE(f[0].message.find("EUCON_EXCLUDES 'Pool::mu_'"),
+            std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("Pool::bad acquires 'Pool::mu_'"),
+            std::string::npos)
+      << f[0].message;
+}
+
+TEST(LockExcludesTest, CallAfterReleaseIsClean) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct Pool {\n"
+                                   "  void submit() EUCON_EXCLUDES(mu_) {}\n"
+                                   "  void good() {\n"
+                                   "    { MutexLock l(mu_); }\n"
+                                   "    submit();\n"
+                                   "  }\n"
+                                   "  Mutex mu_;\n"
+                                   "};\n");
+  EXPECT_TRUE(findings_for(all, "lock-order-inversion").empty());
+}
+
+// ---------------------------------------------------------------------------
+// blocking-while-locked
+// ---------------------------------------------------------------------------
+
+TEST(BlockingLockedTest, SleepUnderLockFires) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void f() {\n"
+                                   "  MutexLock l(m);\n"
+                                   "  std::this_thread::sleep_for(d);\n"
+                                   "}\n");
+  const auto f = findings_for(all, "blocking-while-locked");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4u);
+  EXPECT_NE(f[0].message.find("while holding 'm'"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(BlockingLockedTest, EntrySetPropagatesIntoHelpers) {
+  // The blocking site is lock-free locally; the hold arrives through the
+  // call edge and the chain names both hops.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void helper() {\n"
+                                   "  std::this_thread::sleep_for(d);\n"
+                                   "}\n"
+                                   "void f() {\n"
+                                   "  MutexLock l(m);\n"
+                                   "  helper();\n"
+                                   "}\n");
+  const auto f = findings_for(all, "blocking-while-locked");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3u);
+  EXPECT_NE(f[0].message.find("f acquires 'm'"), std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("-> calls helper"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(BlockingLockedTest, RequiresCountsAsHeld) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void helper() EUCON_REQUIRES(m) {\n"
+                                   "  std::this_thread::sleep_for(d);\n"
+                                   "}\n");
+  const auto f = findings_for(all, "blocking-while-locked");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("helper EUCON_REQUIRES 'm'"),
+            std::string::npos)
+      << f[0].message;
+}
+
+TEST(BlockingLockedTest, CondVarWaitThroughMutexLockIsExempt) {
+  // CondVar::wait/wait_for(MutexLock&, ...) release the mutex while
+  // blocked — the held-wait exception, for both the plain and the timed
+  // variant.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m; CondVar cv;\n"
+                                   "void f() {\n"
+                                   "  MutexLock lock(m);\n"
+                                   "  cv.wait(lock);\n"
+                                   "  cv.wait_for(lock, timeout);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "blocking-while-locked").empty());
+}
+
+TEST(BlockingLockedTest, FutureWaitUnderLockStillFires) {
+  // A wait whose first argument is not the lock variable gets no
+  // exemption.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void f(std::future<int>& fut) {\n"
+                                   "  MutexLock lock(m);\n"
+                                   "  fut.wait();\n"
+                                   "}\n");
+  const auto f = findings_for(all, "blocking-while-locked");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4u);
+}
+
+TEST(BlockingLockedTest, BlockOkOnTheBlockerSilences) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "Mutex m;\n"
+      "void f() EUCON_BLOCK_OK(\"uncontended, held for one map op\") {\n"
+      "  MutexLock l(m);\n"
+      "  std::this_thread::sleep_for(d);\n"
+      "}\n");
+  EXPECT_TRUE(findings_for(all, "blocking-while-locked").empty());
+}
+
+TEST(BlockingLockedTest, BlockOkAlongTheHoldChainSilences) {
+  // The holder (not the blocker) carries the hatch: the hold's provenance
+  // chain passes a trusted function, so the finding is silenced.
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void helper() {\n"
+                                   "  std::this_thread::sleep_for(d);\n"
+                                   "}\n"
+                                   "void f() EUCON_BLOCK_OK(\"bench-only\") {\n"
+                                   "  MutexLock l(m);\n"
+                                   "  helper();\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "blocking-while-locked").empty());
+}
+
+TEST(BlockingLockedTest, UnlockedSleepIsClean) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "Mutex m;\n"
+                                   "void f() {\n"
+                                   "  { MutexLock l(m); }\n"
+                                   "  std::this_thread::sleep_for(d);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "blocking-while-locked").empty());
+}
+
+TEST(BlockingLockedTest, LineSuppressionWorks) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "Mutex m;\n"
+      "void f() {\n"
+      "  MutexLock l(m);\n"
+      "  std::this_thread::sleep_for(d);  // eucon-lint: "
+      "allow(blocking-while-locked)\n"
+      "}\n");
+  EXPECT_TRUE(findings_for(all, "blocking-while-locked").empty());
+}
+
+// ---------------------------------------------------------------------------
+// callback-under-lock
+// ---------------------------------------------------------------------------
+
+TEST(CallbackUnderLockTest, FunctionFieldInvokedUnderLockFires) {
+  const auto all = ea::lint_source(
+      "a.cpp",
+      "struct Options {\n"
+      "  std::function<void(int)> on_done;\n"
+      "};\n"
+      "Mutex m;\n"
+      "void f(Options& o) {\n"
+      "  MutexLock l(m);\n"
+      "  o.on_done(1);\n"
+      "}\n");
+  const auto f = findings_for(all, "callback-under-lock");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 7u);
+  EXPECT_NE(f[0].message.find("user callback 'on_done'"), std::string::npos)
+      << f[0].message;
+  EXPECT_NE(f[0].message.find("'m' held"), std::string::npos) << f[0].message;
+}
+
+TEST(CallbackUnderLockTest, InvokeAfterReleaseIsClean) {
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct Options {\n"
+                                   "  std::function<void(int)> on_done;\n"
+                                   "};\n"
+                                   "Mutex m;\n"
+                                   "void f(Options& o) {\n"
+                                   "  int v = 0;\n"
+                                   "  { MutexLock l(m); v = 1; }\n"
+                                   "  o.on_done(v);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "callback-under-lock").empty());
+}
+
+TEST(CallbackUnderLockTest, ResolvedMethodsAreNotCallbacks) {
+  // A name that resolves to a real method in the graph is owned by the
+  // order/blocking analyses, not the callback rule — even when a field of
+  // the same name exists.
+  const auto all = ea::lint_source("a.cpp",
+                                   "struct Options {\n"
+                                   "  std::function<void(int)> notify;\n"
+                                   "};\n"
+                                   "struct Sink {\n"
+                                   "  void notify(int v) {}\n"
+                                   "};\n"
+                                   "Mutex m;\n"
+                                   "void f(Sink& s) {\n"
+                                   "  MutexLock l(m);\n"
+                                   "  s.notify(1);\n"
+                                   "}\n");
+  EXPECT_TRUE(findings_for(all, "callback-under-lock").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across file order
+// ---------------------------------------------------------------------------
+
+TEST(LockGraphDeterminismTest, ReportIndependentOfAddFileOrder) {
+  const std::string f1 =
+      "Mutex a; Mutex b;\n"
+      "void f() { MutexLock x(a); MutexLock y(b); }\n";
+  const std::string f2 = "void g() { MutexLock x(b); MutexLock y(a); }\n";
+  const std::string f3 =
+      "Mutex m;\n"
+      "void h() { MutexLock l(m); std::this_thread::sleep_for(d); }\n";
+  auto forward = lock_findings({{"f1.cpp", f1}, {"f2.cpp", f2}, {"f3.cpp", f3}});
+  auto backward =
+      lock_findings({{"f3.cpp", f3}, {"f2.cpp", f2}, {"f1.cpp", f1}});
+  ea::sort_findings(forward);
+  ea::sort_findings(backward);
+  ASSERT_EQ(forward.size(), backward.size());
+  ASSERT_EQ(forward.size(), 2u);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].file, backward[i].file);
+    EXPECT_EQ(forward[i].line, backward[i].line);
+    EXPECT_EQ(forward[i].rule, backward[i].rule);
+    // Byte-identical messages: the chains must not depend on insertion
+    // order either.
+    EXPECT_EQ(forward[i].message, backward[i].message);
+  }
+}
+
+}  // namespace

@@ -10,7 +10,9 @@
 #   tsan           -DEUCON_SANITIZE=thread (opt-in via --tsan); runs the
 #                  concurrency-focused subset: thread-pool tests, batch
 #                  engine determinism tests, the obs registry/trace
-#                  determinism tests, and the bench_perf smoke run
+#                  determinism tests, the bench_perf smoke run, and the
+#                  seeded lock-inversion cross-check (TSan must report
+#                  the same cycle eucon_lint flags statically)
 #   faults         (opt-in via --faults) the fault-injection/degradation
 #                  suite — fault plans, the watchdog, lane staleness, the
 #                  faulted goldens and batch determinism — under both
@@ -23,9 +25,12 @@
 #
 # plus the project linter (tools/eucon_lint) over the whole tree — the
 # machine-readable JSON gate against tools/lint_baseline.txt, exactly as the
-# lint_repo ctest runs it — and, when a clang++ is on PATH, a build with
-# -Wthread-safety -Werror so the EUCON_* capability annotations
-# (common/annotations.h) are enforced, not just parsed.
+# lint_repo ctest runs it, with a per-rule-family count check that pins the
+# lock rules (lock-order-inversion, blocking-while-locked,
+# callback-under-lock) to zero findings and zero baseline entries — and,
+# when a clang++ is on PATH, a build with -Wthread-safety -Werror so the
+# EUCON_* capability annotations (common/annotations.h) are enforced, not
+# just parsed.
 #
 # Usage:
 #   tools/check.sh             # lint + default + asan-ubsan + numeric
@@ -97,8 +102,32 @@ run_lint() {
   t0=$SECONDS
   "$dir/tools/eucon_lint" --format=json \
     --baseline "$ROOT/tools/lint_baseline.txt" \
-    --compile-commands "$dir/compile_commands.json"
+    --compile-commands "$dir/compile_commands.json" \
+    | tee "$dir/lint_multi_tu.json"
   echo "=== [lint] multi-TU gate took $((SECONDS - t0))s ==="
+  # The lock rule family (lock-order-inversion, blocking-while-locked,
+  # callback-under-lock) guards against deadlocks: its counts must stay at
+  # zero and may not be ratcheted through the baseline either — a deadlock
+  # risk is fixed or explicitly allow()'d at the site with a justification,
+  # never parked.
+  echo "=== [lint] lock rule family gate (rule_counts, baseline) ==="
+  python3 - "$dir/lint_multi_tu.json" "$ROOT/tools/lint_baseline.txt" <<'EOF'
+import json, sys
+LOCK_RULES = ("lock-order-inversion", "blocking-while-locked",
+              "callback-under-lock")
+report = json.load(open(sys.argv[1]))
+counts = report.get("rule_counts", {})
+print("rule_counts: %s" % (json.dumps(counts, sort_keys=True) or "{}"))
+bad = {r: counts[r] for r in LOCK_RULES if counts.get(r)}
+if bad:
+    sys.exit("lock rule family must stay at zero findings: %s" % bad)
+for lineno, raw in enumerate(open(sys.argv[2]), 1):
+    entry = raw.split("#", 1)[0].strip()
+    if any(":%s" % r in entry for r in LOCK_RULES):
+        sys.exit("lint_baseline.txt:%d: lock rules may not be baselined: %s"
+                 % (lineno, entry))
+print("lock rule family: all zero, none baselined")
+EOF
   echo "=== [lint] OK ==="
 }
 
@@ -263,8 +292,28 @@ case "$MODE" in
       # byte-stability under instrumentation), and the bench_perf smoke run
       # (pooled batch section + JSON schema validation).
       configure_build_test tsan \
-        --tests 'ThreadPoolTest|BatchTest|RegistryTest|TraceDeterminismTest|TraceGoldenTest|bench_perf_smoke' \
+        --tests 'ThreadPoolTest|BatchTest|RegistryTest|TraceDeterminismTest|TraceGoldenTest|LockCrosscheckTest|bench_perf_smoke' \
         -DEUCON_SANITIZE=thread
+      # Dynamic cross-check of the lint's lock-order-inversion rule: execute
+      # the deliberately inverted (but sequential, so hang-free) two-mutex
+      # acquisition and require TSan's deadlock detector to report it — the
+      # static rule and the dynamic tool must agree on the seeded bug.
+      echo "=== [tsan] seeded lock-inversion cross-check ==="
+      if EUCON_SEEDED_INVERSION=1 TSAN_OPTIONS="detect_deadlocks=1" \
+        "$ROOT/build-tsan/tests/lock_crosscheck_test" \
+        --gtest_filter='LockCrosscheckTest.SeededInversionReportsUnderTsan' \
+        >"$ROOT/build-tsan/seeded_inversion.log" 2>&1; then
+        echo "seeded inversion ran clean: TSan failed to report the" \
+          "lock-order cycle (see build-tsan/seeded_inversion.log)" >&2
+        exit 1
+      fi
+      grep -q "lock-order-inversion\|deadlock" \
+        "$ROOT/build-tsan/seeded_inversion.log" || {
+        echo "lock_crosscheck_test failed for a reason other than TSan's" \
+          "deadlock report (see build-tsan/seeded_inversion.log)" >&2
+        exit 1
+      }
+      echo "=== [tsan] TSan reported the seeded inversion, as expected ==="
     fi
     ;;
 esac

@@ -158,6 +158,9 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings = run_lint(roots);
   normalize_paths(findings);
+  // Re-sort on the normalized paths: raw-path order (absolute vs relative
+  // spellings, compile_commands entry order) must not leak into the report.
+  sort_findings(findings);
 
   if (write_baseline) {
     std::cout << render_baseline(findings);
