@@ -34,6 +34,8 @@
 #include "eucon/network.h"
 #include "eucon/replication.h"
 #include "eucon/report.h"
+#include "eucon/scenario.h"
+#include "eucon/steer.h"
 #include "eucon/workloads.h"
 #include "linalg/eig.h"
 #include "linalg/matrix.h"

@@ -1,0 +1,180 @@
+// Sequential best-arm identification over the batch engine: adaptive
+// experiment steering (docs/steering.md).
+//
+// The fixed-grid way to compare controllers is "run every controller on
+// every scenario instance R times and compare the means" — most of those
+// replications are spent on arms that were hopeless after the first dozen
+// runs. This module adopts the sequential testing idiom of Monte-Carlo
+// simulation engines (MAGPIE's simmer/bai stack is the exemplar): arms are
+// the scenario's controllers, a pull is one run_experiment on the next
+// (instance, seed) of a deterministic schedule shared by every arm (common
+// random numbers), and successive elimination retires an arm as soon as its
+// anytime-valid upper confidence bound falls below the best arm's lower
+// bound. The survivors get the replication budget the losers no longer
+// consume — typically identifying the winner in a fraction of the fixed
+// grid's runs at the same failure probability delta.
+//
+// Determinism contract: elimination decisions happen only at round
+// barriers, after a run_batch call whose results are in spec order and
+// bit-identical serial vs pooled. The decision log is therefore
+// byte-identical for any worker count — the adaptive layer extends, and is
+// regression-tested under, the same contract as the batch engine
+// (tests/steering_determinism_test.cpp, tests/golden/steer_demo.jsonl).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "eucon/experiment.h"
+#include "eucon/scenario.h"
+#include "obs/registry.h"
+
+namespace eucon::steer {
+
+// Which anytime-valid confidence radius drives eliminations. Samples must
+// lie in [0, 1] (run_score guarantees it); with per-(arm, t) failure budget
+// delta_t = delta_eff / (K t (t+1)):
+//   kHoeffding           sqrt(ln(2/delta_t) / (2 t))
+//   kEmpiricalBernstein  sqrt(2 V_t ln(3/delta_t) / t) + 3 ln(3/delta_t) / t
+//   kTightest            min of both, each at delta_eff = delta / 2
+// Summing delta_t over all arms and times telescopes to delta_eff, so every
+// bound holds simultaneously for all t — stopping any time is valid.
+enum class BoundKind {
+  kHoeffding,
+  kEmpiricalBernstein,
+  kTightest,
+};
+
+const char* bound_kind_name(BoundKind bound);
+// Accepts "hoeffding", "bernstein", "tightest"; throws std::invalid_argument.
+BoundKind parse_bound_kind(const std::string& name);
+
+struct BaiOptions {
+  double delta = 0.05;  // total failure probability, in (0, 1)
+  BoundKind bound = BoundKind::kTightest;
+};
+
+// The experiment-agnostic successive-elimination core, exposed separately
+// so the statistical-correctness suite (tests/steering_test.cpp) can drive
+// it on synthetic arms with known means. Pull all active arms the same
+// number of times, then call end_round(); elimination happens only there.
+class SuccessiveElimination {
+ public:
+  SuccessiveElimination(std::size_t num_arms, const BaiOptions& options);
+
+  // Adds one reward sample in [0, 1] for an active arm.
+  void add_sample(std::size_t arm, double value);
+  // Round barrier: recomputes every active arm's radius and eliminates each
+  // arm whose upper bound lies strictly below the best arm's lower bound.
+  // Requires equal pull counts (>= 1) across active arms.
+  void end_round();
+
+  std::size_t num_arms() const { return arms_.size(); }
+  std::size_t num_active() const { return num_active_; }
+  bool active(std::size_t arm) const;
+  // True when a single arm remains.
+  bool decided() const { return num_active_ == 1; }
+  // The active arm with the highest empirical mean (lowest index on ties).
+  std::size_t best() const;
+  std::size_t rounds() const { return rounds_; }
+
+  double mean(std::size_t arm) const;
+  // The current confidence radius (+infinity before the first sample).
+  double radius(std::size_t arm) const;
+  double lower(std::size_t arm) const { return mean(arm) - radius(arm); }
+  double upper(std::size_t arm) const { return mean(arm) + radius(arm); }
+  std::size_t pulls(std::size_t arm) const;
+  // Round at which the arm was eliminated, or -1 while it is active.
+  int eliminated_round(std::size_t arm) const;
+
+  // The Hoeffding component alone (ignoring the bound-kind selection) —
+  // analytically monotone non-increasing in the pull count, which the
+  // CI-width fuzz pins. +infinity before the first sample.
+  double hoeffding_radius(std::size_t arm) const;
+
+ private:
+  struct Arm {
+    RunningStats stats;
+    double radius = 0.0;
+    bool has_radius = false;  // false until the first end_round with pulls
+    int eliminated_round = -1;
+  };
+
+  double radius_for(const Arm& arm) const;
+
+  BaiOptions options_;
+  std::vector<Arm> arms_;
+  std::size_t num_active_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Steering over run_batch
+// ---------------------------------------------------------------------------
+
+struct SteeringOptions {
+  BaiOptions bai;
+  // Replications per active arm per round. Rounds are the determinism
+  // barriers: larger rounds decide on more data per barrier, smaller rounds
+  // eliminate sooner.
+  int reps_per_round = 2;
+  // Round budget; 0 derives it from the scenario's fixed-grid budget
+  // (instances * replicas pulls per arm, the exhaustive grid's spend).
+  int max_rounds = 0;
+
+  // Batch execution (forwarded to run_batch): pooled by default.
+  std::size_t num_workers = 0;
+  bool serial = false;
+
+  // Shared counter registry: steer.rounds, steer.replications,
+  // steer.eliminations, steer.decided — plus everything the underlying
+  // runs record. Null = metrics off.
+  obs::Registry* metrics = nullptr;
+  // JSONL decision log (docs/steering.md): one header record, one record
+  // per round, one per elimination, one decision record. Byte-identical
+  // serial vs pooled. Null = logging off.
+  std::ostream* decision_log = nullptr;
+};
+
+struct ArmOutcome {
+  std::string controller;
+  double mean = 0.0;
+  double radius = 0.0;
+  std::size_t pulls = 0;
+  int eliminated_round = -1;  // -1 = survived to the end
+};
+
+struct SteeringReport {
+  std::string scenario;
+  std::string winner;       // controller name of the best surviving arm
+  bool decided = false;     // single survivor vs budget exhausted
+  std::size_t rounds = 0;
+  std::size_t total_replications = 0;       // runs actually executed
+  std::size_t exhaustive_replications = 0;  // fixed-grid equivalent spend
+  // exhaustive_replications / total_replications (>= 1 when steering wins).
+  double replication_savings = 0.0;
+  std::vector<ArmOutcome> arms;  // in scenario controller order
+};
+
+// The per-run reward in [0, 1] steering ranks controllers by: equal parts
+// set-point tracking (mean absolute utilization deviation, full credit at 0
+// and none at >= 0.2) and end-to-end deadline performance (1 - miss ratio).
+double run_score(const ExperimentResult& result);
+
+// Runs successive elimination over the scenario's controllers. Requires at
+// least two controllers. Deterministic for a fixed (scenario, options.bai,
+// reps_per_round, max_rounds) regardless of serial/num_workers.
+SteeringReport run_steering(const scenario::Scenario& sc,
+                            const SteeringOptions& options = {});
+
+// The fixed-grid baseline: every controller runs the full instance x
+// replica grid through one run_batch call; the report carries the same
+// shape with every arm at the full budget. The winner cross-check in
+// bench_steering compares this against run_steering.
+SteeringReport run_exhaustive(const scenario::Scenario& sc,
+                              const SteeringOptions& options = {});
+
+}  // namespace eucon::steer

@@ -1,0 +1,170 @@
+// The steering determinism contract (docs/steering.md): run_steering's
+// decision log and report are byte-identical serial vs pooled, for any
+// worker count — elimination happens only at round barriers fed by
+// run_batch results in spec order. The demo scenario's log is also pinned
+// as a golden file (tests/golden/steer_demo.jsonl, regen via
+// tools/regen_golden.sh).
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eucon/scenario.h"
+#include "eucon/steer.h"
+#include "obs/registry.h"
+
+namespace eucon::steer {
+namespace {
+
+// Small but non-trivial: three controllers on SIMPLE at half load. OPEN's
+// score gap (~0.5) gets it eliminated around pull 150, well inside the
+// budget; EUCON and PID are statistically close, so the run also covers the
+// budget-exhausted (undecided) path. ~0.5s serial per run.
+scenario::Scenario demo_scenario() {
+  return scenario::parse_scenario(R"({
+    "name": "steer-demo",
+    "seed": 21,
+    "periods": 40,
+    "replicas": 200,
+    "controllers": ["eucon", "pid", "open"],
+    "workloads": ["simple"],
+    "etf": [0.5]
+  })");
+}
+
+struct SteeringRun {
+  std::string log;
+  SteeringReport report;
+};
+
+SteeringRun run_with(bool serial, std::size_t num_workers) {
+  SteeringOptions options;
+  options.serial = serial;
+  options.num_workers = num_workers;
+  options.reps_per_round = 5;
+  std::ostringstream log;
+  options.decision_log = &log;
+  SteeringRun out;
+  out.report = run_steering(demo_scenario(), options);
+  out.log = log.str();
+  return out;
+}
+
+void expect_same_log(const std::string& expected, const std::string& produced,
+                     const std::string& what) {
+  if (expected == produced) return;
+  std::istringstream a(expected), b(produced);
+  std::string la, lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(a, la));
+    const bool more_b = static_cast<bool>(std::getline(b, lb));
+    if (!more_a && !more_b) break;
+    if (la != lb || more_a != more_b) {
+      FAIL() << what << " differs at line " << line
+             << "\n  expected: " << (more_a ? la : "<eof>")
+             << "\n  produced: " << (more_b ? lb : "<eof>");
+    }
+  }
+  FAIL() << what << " differs at the byte level with identical lines";
+}
+
+TEST(SteeringDeterminism, SerialAndPooledLogsAreByteIdentical) {
+  const SteeringRun serial = run_with(true, 0);
+  ASSERT_FALSE(serial.log.empty());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    const SteeringRun pooled = run_with(false, workers);
+    expect_same_log(serial.log, pooled.log,
+                    "pooled(" + std::to_string(workers) + ") decision log");
+    EXPECT_EQ(serial.report.winner, pooled.report.winner);
+    EXPECT_EQ(serial.report.decided, pooled.report.decided);
+    EXPECT_EQ(serial.report.rounds, pooled.report.rounds);
+    EXPECT_EQ(serial.report.total_replications,
+              pooled.report.total_replications);
+    ASSERT_EQ(serial.report.arms.size(), pooled.report.arms.size());
+    for (std::size_t i = 0; i < serial.report.arms.size(); ++i) {
+      // Bit-identical scores imply bit-identical statistics.
+      EXPECT_EQ(serial.report.arms[i].mean, pooled.report.arms[i].mean) << i;
+      EXPECT_EQ(serial.report.arms[i].radius, pooled.report.arms[i].radius)
+          << i;
+      EXPECT_EQ(serial.report.arms[i].pulls, pooled.report.arms[i].pulls)
+          << i;
+      EXPECT_EQ(serial.report.arms[i].eliminated_round,
+                pooled.report.arms[i].eliminated_round)
+          << i;
+    }
+  }
+}
+
+TEST(SteeringDeterminism, RepeatedRunsAreByteIdentical) {
+  const SteeringRun a = run_with(true, 0);
+  const SteeringRun b = run_with(true, 0);
+  EXPECT_EQ(a.log, b.log);
+}
+
+TEST(SteeringDeterminism, DemoActuallyEliminatesTheOpenArm) {
+  // The demo is only a meaningful determinism probe if the adaptive path is
+  // exercised: OPEN's clear score gap must get it eliminated before the
+  // budget ends, and the open-loop baseline must never be declared winner.
+  const SteeringRun run = run_with(true, 0);
+  bool open_eliminated = false;
+  for (const ArmOutcome& arm : run.report.arms)
+    if (arm.controller == "OPEN") open_eliminated = arm.eliminated_round >= 0;
+  EXPECT_TRUE(open_eliminated);
+  EXPECT_NE(run.report.winner, "OPEN");
+}
+
+TEST(SteeringDeterminism, MetricsAccumulateIdenticallyAcrossModes) {
+  for (const bool serial : {true, false}) {
+    obs::Registry registry;
+    SteeringOptions options;
+    options.serial = serial;
+    options.metrics = &registry;
+    const SteeringReport report = run_steering(demo_scenario(), options);
+    const obs::Snapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("steer.rounds"), report.rounds);
+    EXPECT_EQ(snap.counters.at("steer.replications"),
+              report.total_replications);
+    EXPECT_EQ(snap.counters.at("steer.decided"),
+              report.decided ? 1u : 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden decision log. The Golden* suite prefix is what
+// tools/regen_golden.sh filters on to regenerate the file.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenSteering, DecisionLogMatchesGoldenFile) {
+  const SteeringRun run = run_with(true, 0);
+  ASSERT_FALSE(run.log.empty());
+  const std::string path =
+      std::string(EUCON_GOLDEN_DIR) + "/steer_demo.jsonl";
+
+  if (std::getenv("EUCON_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << run.log;
+    out.close();
+    ASSERT_TRUE(out.good()) << "failed writing " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run tools/regen_golden.sh to create it";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (buf.str() != run.log) {
+    expect_same_log(buf.str(), run.log, path);
+    FAIL() << "decision log differs from " << path
+           << " — if the change is intentional, run tools/regen_golden.sh "
+              "and review the diff.";
+  }
+}
+
+}  // namespace
+}  // namespace eucon::steer

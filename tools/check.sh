@@ -41,6 +41,9 @@
 #   tools/check.sh --lint      # lint gate + clang thread-safety build only
 #   tools/check.sh --tidy      # clang-tidy over src/ and tools/ (.clang-tidy)
 #   tools/check.sh --perf      # bench_perf --smoke + BENCH_PERF.json honesty gate
+#   tools/check.sh --steer     # scenario/steering suite under ASan/UBSan, the
+#                              # determinism contract under TSan, and the
+#                              # BENCH_STEERING.json acceptance gate
 #
 # Each preset builds into build-<preset>/ (gitignored). Exit status is
 # nonzero as soon as any preset fails.
@@ -48,10 +51,15 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-GENERATOR=()
-if command -v ninja >/dev/null 2>&1; then
-  GENERATOR=(-G Ninja)
-fi
+
+# Prefer Ninja for fresh build dirs; an already-configured directory keeps
+# whatever generator it was created with (cmake rejects a mismatch).
+# Usage: cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") ...
+gen_flags() {
+  if [ ! -f "$1/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    echo "-G Ninja"
+  fi
+}
 
 # Sanitizer runtime knobs: fail loudly, with stacks.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
@@ -70,7 +78,8 @@ configure_build_test() {
   fi
   local dir="$ROOT/build-$name"
   echo "=== [$name] configure ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" "$@"
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
@@ -85,7 +94,8 @@ configure_build_test() {
 run_lint() {
   local dir="$ROOT/build-default"
   echo "=== [lint] build eucon_lint ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   cmake --build "$dir" -j "$JOBS" --target eucon_lint
   echo "=== [lint] JSON gate over src/ tests/ tools/ bench/ examples/ ==="
@@ -141,7 +151,8 @@ run_thread_safety() {
   fi
   local dir="$ROOT/build-thread-safety"
   echo "=== [thread-safety] clang build with -Wthread-safety -Werror ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") \
     -DCMAKE_CXX_COMPILER=clang++ >/dev/null
   cmake --build "$dir" -j "$JOBS"
   echo "=== [thread-safety] OK ==="
@@ -170,7 +181,8 @@ run_tidy() {
   fi
   local dir="$ROOT/build-tidy"
   echo "=== [tidy] configure with compile_commands.json ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" \
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   echo "=== [tidy] clang-tidy (config: .clang-tidy) ==="
   if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -204,7 +216,8 @@ run_faults() {
 run_perf() {
   local dir="$ROOT/build-default"
   echo "=== [perf] build bench_perf ==="
-  cmake -B "$dir" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") >/dev/null
   cmake --build "$dir" -j "$JOBS" --target bench_perf
   echo "=== [perf] bench_perf --smoke (self-validating report) ==="
   "$dir/bench/bench_perf" --smoke --json "$dir/bench_perf_smoke.json"
@@ -236,6 +249,53 @@ EOF
   echo "=== [perf] OK ==="
 }
 
+# The scenario-DSL + best-arm-steering surface (docs/steering.md): parser
+# property tests, the statistical-correctness suite for the elimination
+# rule, the serial-vs-pooled decision-log byte-equality contract (including
+# the pinned golden), the bench_steering smoke gate, and the CLI entry
+# point. The memory-safety preset runs all of it; TSan reruns the
+# determinism contract with real pool workers racing on the batch engine.
+STEER_TESTS='ScenarioParse|ScenarioValidate|ScenarioSeeds|ScenarioLabels'
+STEER_TESTS+='|ScenarioFiles|SteeringStat|SteeringCi|SteeringStop'
+STEER_TESTS+='|SteeringApi|SteeringScore|SteeringDeterminism|GoldenSteering'
+STEER_TESTS+='|bench_steering_smoke|cli_steer_demo'
+STEER_TSAN_TESTS='SteeringDeterminism|GoldenSteering'
+run_steer() {
+  configure_build_test asan-ubsan --tests "$STEER_TESTS" \
+    "-DEUCON_SANITIZE=address;undefined"
+  configure_build_test tsan --tests "$STEER_TSAN_TESTS" \
+    -DEUCON_SANITIZE=thread
+  echo "=== [steer] checked-in BENCH_STEERING.json acceptance gate ==="
+  python3 - "$ROOT/BENCH_STEERING.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+if rep.get("schema_version", 0) < 1:
+    sys.exit("BENCH_STEERING.json: schema_version < 1; regenerate with "
+             "bench_steering")
+if rep.get("smoke"):
+    sys.exit("BENCH_STEERING.json: checked-in report must come from a full "
+             "run, not --smoke")
+steering = rep["steering"]
+floor = rep["savings_floor"]
+problems = []
+if not rep.get("winners_match"):
+    problems.append("steered winner does not match the exhaustive grid")
+if not steering.get("decided"):
+    problems.append("steering did not decide within the grid budget")
+if steering["replication_savings"] < floor:
+    problems.append("savings %.2fx below the %.1fx floor"
+                    % (steering["replication_savings"], floor))
+if problems:
+    sys.exit("BENCH_STEERING.json: " + "; ".join(problems) +
+             "; regenerate and investigate before publishing")
+print("BENCH_STEERING.json: scenario=%s winner=%s savings=%.2fx -> OK"
+      % (rep["scenario"], steering["winner"],
+         steering["replication_savings"]))
+EOF
+  echo "=== [steer] OK ==="
+}
+
 MODE="all"
 TSAN=0
 for arg in "$@"; do
@@ -246,6 +306,7 @@ for arg in "$@"; do
     --coverage) MODE="coverage" ;;
     --faults) MODE="faults" ;;
     --perf) MODE="perf" ;;
+    --steer) MODE="steer" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
       sed -n '2,38p' "$0"
@@ -274,6 +335,9 @@ case "$MODE" in
     ;;
   perf)
     run_perf
+    ;;
+  steer)
+    run_steer
     ;;
   fast)
     run_lint

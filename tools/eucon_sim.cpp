@@ -65,6 +65,17 @@ using namespace eucon;
                "  --quiet                   suppress the per-period CSV\n"
                "  --summary                 print the summary block\n"
                "  --diagnose                print plant diagnostics and exit\n"
+               "Steering mode (docs/steering.md) — ignores the single-run flags:\n"
+               "  --steer FILE              run best-arm steering over a JSON\n"
+               "                            scenario (examples/scenarios/)\n"
+               "  --steer-exhaustive        run the fixed grid instead (baseline)\n"
+               "  --delta X                 failure probability (default 0.05)\n"
+               "  --bound hoeffding|bernstein|tightest   CI kind (default tightest)\n"
+               "  --steer-reps N            replications per arm per round (default 2)\n"
+               "  --steer-rounds N          round cap (default: fixed-grid budget)\n"
+               "  --steer-log FILE          write the JSONL decision log\n"
+               "  --workers N               batch worker threads (default: hardware)\n"
+               "  --serial                  run the batch without a worker pool\n"
                "Flags also accept the --flag=value spelling.\n",
                argv0);
   std::exit(2);
@@ -105,6 +116,9 @@ int main(int argc, char** argv) {
   bool quiet = false, summary = false, diagnose = false;
   bool print_metrics = false;
   int replicas = 0;  // 0 = single run
+  std::string steer_file, steer_log;
+  bool steer_exhaustive = false;
+  steer::SteeringOptions steer_opts;
   cfg.sim.jitter = 0.1;
   cfg.sim.seed = 1;
 
@@ -240,6 +254,32 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (flag == "--out-prefix") {
       out_prefix = next_value(i);
+    } else if (flag == "--steer") {
+      steer_file = next_value(i);
+    } else if (flag == "--steer-exhaustive") {
+      steer_exhaustive = true;
+    } else if (flag == "--delta") {
+      steer_opts.bai.delta = parse_double(argv[0], flag, next_value(i));
+    } else if (flag == "--bound") {
+      const std::string b = next_value(i);
+      try {
+        steer_opts.bai.bound = steer::parse_bound_kind(b);
+      } catch (const std::exception& e) {
+        usage(argv[0], e.what());
+      }
+    } else if (flag == "--steer-reps") {
+      steer_opts.reps_per_round =
+          static_cast<int>(parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--steer-rounds") {
+      steer_opts.max_rounds =
+          static_cast<int>(parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--steer-log") {
+      steer_log = next_value(i);
+    } else if (flag == "--workers") {
+      steer_opts.num_workers = static_cast<std::size_t>(
+          parse_double(argv[0], flag, next_value(i)));
+    } else if (flag == "--serial") {
+      steer_opts.serial = true;
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--summary") {
@@ -254,6 +294,54 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!steer_file.empty()) {
+      const scenario::Scenario sc = scenario::load_scenario_file(steer_file);
+      obs::Registry registry;
+      if (print_metrics) steer_opts.metrics = &registry;
+      std::ofstream log_out;
+      if (!steer_log.empty()) {
+        log_out.open(steer_log);
+        if (!log_out.good()) {
+          std::fprintf(stderr, "cannot open %s\n", steer_log.c_str());
+          return 1;
+        }
+        steer_opts.decision_log = &log_out;
+      }
+      const steer::SteeringReport rep =
+          steer_exhaustive ? steer::run_exhaustive(sc, steer_opts)
+                           : steer::run_steering(sc, steer_opts);
+      std::printf("# scenario: %s (%s, delta %.3g, bound %s)\n",
+                  rep.scenario.c_str(),
+                  steer_exhaustive ? "exhaustive grid" : "steering",
+                  steer_opts.bai.delta,
+                  steer::bound_kind_name(steer_opts.bai.bound));
+      std::printf("# winner: %s (%s)\n", rep.winner.c_str(),
+                  rep.decided ? "decided" : "budget exhausted");
+      std::printf(
+          "# rounds: %zu, replications: %zu vs exhaustive %zu "
+          "(savings %.2fx)\n",
+          rep.rounds, rep.total_replications, rep.exhaustive_replications,
+          rep.replication_savings);
+      for (const steer::ArmOutcome& arm : rep.arms) {
+        std::printf("# arm %-8s mean %.4f +-%.4f pulls %zu%s%s\n",
+                    arm.controller.c_str(), arm.mean, arm.radius, arm.pulls,
+                    arm.eliminated_round >= 0 ? " eliminated round " : "",
+                    arm.eliminated_round >= 0
+                        ? std::to_string(arm.eliminated_round).c_str()
+                        : "");
+      }
+      if (print_metrics) {
+        const obs::Snapshot snap = registry.snapshot();
+        std::printf("# metrics\n");
+        for (const auto& [name, value] : snap.counters)
+          std::printf("# counter %s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+      }
+      if (!steer_log.empty())
+        std::fprintf(stderr, "wrote decision log to %s\n", steer_log.c_str());
+      return 0;
+    }
+
     if (spec_file) {
       cfg.spec = rts::load_spec_file(*spec_file);
     } else if (workload == "simple") {

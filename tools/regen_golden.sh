@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# regen_golden.sh — regenerate the golden JSONL traces in tests/golden/.
+# regen_golden.sh — regenerate the golden JSONL files in tests/golden/.
 #
-# The golden-trace regression suite (tests/trace_golden_test.cpp) byte-
-# compares the traces of the pinned configurations (clean and faulted)
-# against the files checked in under tests/golden/. After an *intentional* behavior change —
-# controller tuning, simulator semantics, trace schema — run this script,
-# review `git diff tests/golden/` like any other code change, and commit
-# the new files together with the change that caused them.
+# The golden regression suites byte-compare generated JSONL against the
+# files checked in under tests/golden/: per-period traces of pinned
+# configurations (tests/trace_golden_test.cpp) and the steering decision
+# log of the demo scenario (tests/steering_determinism_test.cpp). After an
+# *intentional* behavior change — controller tuning, simulator semantics,
+# trace schema, steering bound math — run this script, review
+# `git diff tests/golden/` like any other code change, and commit the new
+# files together with the change that caused them.
 #
 # Usage: tools/regen_golden.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -14,21 +16,26 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
+# Prefer Ninja for fresh build dirs; an already-configured directory keeps
+# whatever generator it was created with (cmake rejects a mismatch).
 GENERATOR=()
-if command -v ninja >/dev/null 2>&1; then
+if [[ ! -f "$BUILD/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
   GENERATOR=(-G Ninja)
 fi
 
 cmake -B "$BUILD" -S "$ROOT" "${GENERATOR[@]}" >/dev/null
 cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target trace_golden_test
+  --target trace_golden_test --target steering_determinism_test
 
 mkdir -p "$ROOT/tests/golden"
 EUCON_REGEN_GOLDEN=1 "$BUILD/tests/trace_golden_test" \
   --gtest_filter='Golden/*'
+EUCON_REGEN_GOLDEN=1 "$BUILD/tests/steering_determinism_test" \
+  --gtest_filter='GoldenSteering.*'
 
 # Prove the regenerated files round-trip before handing back to the user.
 "$BUILD/tests/trace_golden_test" --gtest_filter='Golden/*'
+"$BUILD/tests/steering_determinism_test" --gtest_filter='GoldenSteering.*'
 
 echo
 echo "regen_golden.sh: tests/golden/ regenerated and verified."
