@@ -316,6 +316,10 @@ class CallGraphExtractor {
         const std::size_t next = try_operator(i);
         if (next != i) return next;
       }
+      if (innermost_is_class()) {
+        const std::size_t next = try_member_field(i);
+        if (next != i) return next;
+      }
       return i + 1;
     }
     if (punct_is(t, "{")) return skip_balanced(i, "{", "}");  // initializer
@@ -447,6 +451,64 @@ class CallGraphExtractor {
                                         c_[i].line});
   }
 
+  // `Type name ;|=|{...}|EUCON_*` at class scope: a data-member
+  // declaration. Records name -> type leaf for the typed member-call
+  // narrowing in finalize(): `qp::QpWorkspace* ws_` records ws_ ->
+  // QpWorkspace, `std::unique_ptr<MpcController> local` records the
+  // pointee. Returns i when the shape doesn't match.
+  std::size_t try_member_field(std::size_t i) {
+    std::size_t j = i;
+    while (in_range(j) && c_[j].kind == TokenKind::kIdentifier &&
+           (c_[j].text == "const" || c_[j].text == "static" ||
+            c_[j].text == "mutable" || c_[j].text == "constexpr" ||
+            c_[j].text == "inline"))
+      ++j;
+    if (!in_range(j) || c_[j].kind != TokenKind::kIdentifier ||
+        control_keywords().count(c_[j].text))
+      return i;
+    std::string leaf = c_[j].text;
+    ++j;
+    while (in_range(j + 1) && punct_is(c_[j], "::") &&
+           c_[j + 1].kind == TokenKind::kIdentifier) {
+      leaf = c_[j + 1].text;
+      j += 2;
+    }
+    if (in_range(j) && punct_is(c_[j], "<")) {
+      const std::size_t a = skip_angles(j);
+      if (a == j) return i;
+      if (leaf == "unique_ptr" || leaf == "shared_ptr") {
+        // The pointee is what member calls dispatch on; take the last
+        // identifier of its (possibly qualified) name.
+        std::string inner;
+        for (std::size_t x = j + 1; x + 1 < a; ++x)
+          if (c_[x].kind == TokenKind::kIdentifier && c_[x].text != "const")
+            inner = c_[x].text;
+        if (inner.empty()) return i;
+        leaf = inner;
+      }
+      j = a;
+    }
+    while (in_range(j) && (punct_is(c_[j], "*") || punct_is(c_[j], "&")))
+      ++j;
+    if (!in_range(j + 1) || c_[j].kind != TokenKind::kIdentifier ||
+        control_keywords().count(c_[j].text))
+      return i;
+    const std::string fname = c_[j].text;
+    const Token& after = c_[j + 1];
+    const bool field_shape =
+        punct_is(after, ";") || punct_is(after, "=") ||
+        punct_is(after, "{") ||
+        (after.kind == TokenKind::kIdentifier &&
+         after.text.rfind("EUCON_", 0) == 0);
+    if (!field_shape) return i;
+    graph_.field_types_[fname].insert(leaf);
+    // A std::function-typed field is also a user-suppliable callback for
+    // the callback-under-lock rule (try_callback_field's shape, which this
+    // parse now reaches first for qualified spellings).
+    if (leaf == "function") graph_.callback_fields_.insert(fname);
+    return j + 1;
+  }
+
   // `function<...> name ;|=|EUCON_*` at class scope: a std::function-typed
   // field, i.e. a user-suppliable callback for the callback-under-lock
   // rule. Returns i when the shape doesn't match.
@@ -503,6 +565,66 @@ class CallGraphExtractor {
     if (!in_range(j) || !punct_is(c_[j], "(")) return i;
     if (!valid_head_predecessor(i)) return i;
     return parse_head(i, j, name);
+  }
+
+  // Records `Type [*&]* name` pairs from the parameter list opened at
+  // `lparen` into the typed-receiver map, the same way class fields are
+  // recorded: `const SparseMatrix& a` lets `a.value(k)` dispatch on
+  // SparseMatrix instead of every class with a value() method. Called only
+  // once the head is known to register as a function, so expression
+  // parentheses never pollute the map.
+  void record_param_types(std::size_t lparen) {
+    std::size_t j = lparen + 1;
+    const std::size_t close = skip_balanced(lparen, "(", ")");
+    while (j + 1 < close) {
+      while (j < close && c_[j].kind == TokenKind::kIdentifier &&
+             (c_[j].text == "const" || c_[j].text == "volatile"))
+        ++j;
+      if (j >= close || c_[j].kind != TokenKind::kIdentifier ||
+          control_keywords().count(c_[j].text))
+        break;
+      std::string leaf = c_[j].text;
+      ++j;
+      while (j + 1 < close && punct_is(c_[j], "::") &&
+             c_[j + 1].kind == TokenKind::kIdentifier) {
+        leaf = c_[j + 1].text;
+        j += 2;
+      }
+      if (j < close && punct_is(c_[j], "<")) {
+        const std::size_t a = skip_angles(j);
+        if (a == j) break;
+        if (leaf == "unique_ptr" || leaf == "shared_ptr") {
+          std::string inner;
+          for (std::size_t x = j + 1; x + 1 < a; ++x)
+            if (c_[x].kind == TokenKind::kIdentifier &&
+                c_[x].text != "const")
+              inner = c_[x].text;
+          if (inner.empty()) break;
+          leaf = inner;
+        }
+        j = a;
+      }
+      while (j < close && (punct_is(c_[j], "*") || punct_is(c_[j], "&") ||
+                           punct_is(c_[j], "&&")))
+        ++j;
+      if (j >= close || c_[j].kind != TokenKind::kIdentifier) {
+        // Unnamed parameter (or a shape this lexer doesn't model): skip to
+        // the next top-level comma.
+      } else {
+        graph_.field_types_[c_[j].text].insert(leaf);
+        ++j;
+      }
+      int depth = 0;
+      while (j < close) {
+        if (punct_is(c_[j], "(") || punct_is(c_[j], "{")) ++depth;
+        if (punct_is(c_[j], ")") || punct_is(c_[j], "}")) --depth;
+        if (depth == 0 && punct_is(c_[j], ",")) {
+          ++j;
+          break;
+        }
+        ++j;
+      }
+    }
   }
 
   // Parses from the parameter list's '(' (at `lparen`) through the trailer
@@ -573,6 +695,7 @@ class CallGraphExtractor {
       if (punct_is(t, "{")) {
         const std::size_t body_open = j;
         const std::size_t body_end = skip_balanced(j, "{", "}");
+        record_param_types(lparen);
         register_function(name, name_idx, /*defined=*/true, ann, body_open + 1,
                           body_end > 0 ? body_end - 1 : body_open);
         return body_end;
@@ -585,6 +708,7 @@ class CallGraphExtractor {
       return name_idx;  // unexpected shape: an expression, not a head
     }
     if (is_decl) {
+      record_param_types(lparen);
       register_function(name, name_idx, /*defined=*/false, ann, 0, 0);
       return j;
     }
@@ -843,8 +967,9 @@ class CallGraphExtractor {
       const bool member =
           cprev != nullptr &&
           (punct_is(*cprev, ".") || punct_is(*cprev, "->"));
-      fn.calls.push_back(
-          {member ? t.text : cname, member, t.line, t.col, held, {}});
+      fn.calls.push_back({member ? t.text : cname, member,
+                          member ? receiver_expr(k, begin) : std::string(),
+                          t.line, t.col, held, {}});
     }
   }
 
@@ -992,13 +1117,41 @@ void CallGraph::finalize() {
       bool resolved = false;
       std::set<std::size_t> targets;
       if (call.member) {
-        // Method call through an object. The lexer doesn't know the
-        // object's type, so resolve to EVERY method with this name — an
-        // over-approximation that can add edges but never drop one.
+        // Method call through an object. When the receiver's last
+        // component matches a recorded class-scope field, dispatch on the
+        // declared type(s): resolve to this method name on exactly those
+        // classes. `shard.local->update(...)` through a
+        // `unique_ptr<MpcController> local` field reaches
+        // MpcController::update alone instead of every `update` override
+        // in the repo — which is what keeps an EUCON_REALTIME coordinator
+        // from inheriting the violations of controllers it can never call.
         const auto hit = methods_by_leaf.find(call.name);
         if (hit != methods_by_leaf.end()) {
-          targets.insert(hit->second.begin(), hit->second.end());
-          resolved = true;
+          const std::size_t cut = call.receiver.find_last_of(".>:");
+          const std::string recv_leaf =
+              cut == std::string::npos ? call.receiver
+                                       : call.receiver.substr(cut + 1);
+          const auto typed = recv_leaf.empty()
+                                 ? field_types_.end()
+                                 : field_types_.find(recv_leaf);
+          if (typed != field_types_.end()) {
+            for (const std::size_t t : hit->second) {
+              const std::string& qn = functions_[t].qname;
+              const std::size_t pos = qn.rfind("::");
+              if (pos != std::string::npos &&
+                  typed->second.count(last_component(qn.substr(0, pos)))) {
+                targets.insert(t);
+                resolved = true;
+              }
+            }
+          }
+          // No recorded type declares this method (or the receiver is not
+          // a plain recorded field): every method with this name — an
+          // over-approximation that can add edges but never drop one.
+          if (!resolved) {
+            targets.insert(hit->second.begin(), hit->second.end());
+            resolved = true;
+          }
         }
       }
       // Scope-walk: exact match of prefix::name, innermost scope first.

@@ -17,8 +17,14 @@
 // conservative and over-approximate:
 //  - overloads share one node: a call to an overloaded name reaches every
 //    overload;
-//  - a member call through an object (`obj.f(...)`) resolves to every
-//    method named `f` when the caller's own class doesn't declare one;
+//  - a member call through an object (`obj.f(...)`) first tries the
+//    receiver's declared type: class-scope fields and function parameters
+//    (`T x_;`, `T* x_;`, `unique_ptr<T> x_;`, `const T& x`) record
+//    name -> type leaves, and a receiver whose last component matches one
+//    resolves to `f` on exactly the recorded classes (union over every
+//    same-named declaration repo-wide). When no recorded class declares
+//    `f` — or the receiver is not a recorded name — the call falls back
+//    to every method named `f`;
 //  - calls through function pointers, macros (EUCON_REQUIRE, OBS_TIMED),
 //    and names with no definition in the linted set stay unresolved — the
 //    graph never invents an edge it cannot attribute;
@@ -63,6 +69,10 @@ struct CgViolation {
 struct CgCall {
   std::string name;     // possibly qualified: "f", "linalg::multiply_into"
   bool member = false;  // obj.f(...) / obj->f(...) form
+  // Member calls: the receiver chain as spelled ("shard.local", "solver_");
+  // empty when the receiver isn't a plain name chain. Drives the
+  // typed-field narrowing in finalize().
+  std::string receiver;
   std::size_t line = 0;
   std::size_t col = 0;
   // Mutexes held at this call site (lexical tracking: RAII lock scopes and
@@ -175,6 +185,14 @@ class CallGraph {
     return declared_order_;
   }
 
+  // Class-scope field and function-parameter declarations seen so far:
+  // name -> declared class-type leaves (the pointee for smart-pointer
+  // declarations). Unioned repo-wide; drives the typed member-call
+  // narrowing.
+  const std::map<std::string, std::set<std::string>>& field_types() const {
+    return field_types_;
+  }
+
  private:
   friend class CallGraphExtractor;
 
@@ -185,6 +203,7 @@ class CallGraph {
   std::map<std::string, std::size_t> by_qname_;
   std::set<std::string> files_;
   std::set<std::string> callback_fields_;
+  std::map<std::string, std::set<std::string>> field_types_;
   std::vector<CgDeclaredOrder> declared_order_;
   // file -> line -> rules allowed on that line.
   std::map<std::string, std::map<std::size_t, std::set<std::string>>> allowed_;

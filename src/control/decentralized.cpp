@@ -1,8 +1,11 @@
 #include "control/decentralized.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "control/topology.h"
+#include "linalg/sparse.h"
 
 namespace eucon::control {
 
@@ -19,59 +22,60 @@ DecentralizedMpcController::DecentralizedMpcController(PlantModel model,
   EUCON_REQUIRE(rates_.size() == m, "initial rate vector size mismatch");
   rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
 
-  // Ownership: a task belongs to the processor with the largest allocation
-  // entry among those it touches — a deterministic stand-in for "the
-  // processor of the first subtask", which the flattened F cannot recover.
-  // (Builders that keep the spec around can instead construct per-node
-  // models directly; for utilization control only F matters.)
-  std::vector<std::vector<std::size_t>> owned(n);
-  for (std::size_t j = 0; j < m; ++j) {
-    std::size_t owner = 0;
-    double best = -1.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (model_.f(i, j) > best) {
-        best = model_.f(i, j);
-        owner = i;
-      }
-    }
-    EUCON_REQUIRE(best > 0.0, "task touches no processor");
-    owned[owner].push_back(j);
-  }
+  // Everything below reads F's nonzero structure: compress once, then
+  // ownership, neighborhoods and the local sub-blocks are all O(nnz)
+  // walks instead of dense O(n·m) column scans. F^T's rows are F's
+  // columns — each task's processor list, ascending.
+  const linalg::SparseMatrix fs = linalg::SparseMatrix::from_dense(model_.f);
+  const linalg::SparseMatrix ft = fs.transposed();
+  const OwnershipTopology topo = compute_ownership(fs);
 
-  node_of_.assign(n, static_cast<std::size_t>(-1));
+  node_of_.assign(n, npos);
+  // pos[q] = qi + 1 while processor q sits at node.neighbors[qi] — an O(1)
+  // membership/position map reused (and cleared) across nodes.
+  std::vector<std::size_t> pos(n, 0);
   for (std::size_t p = 0; p < n; ++p) {
-    if (owned[p].empty()) continue;
+    if (topo.owned[p].empty()) continue;
     Node node;
     node.processor = p;
-    node.owned = owned[p];
-    // Neighborhood: p first, then every processor touched by an owned task.
+    node.owned = topo.owned[p];
+    // Neighborhood: p first, then every processor touched by an owned task
+    // in discovery order — owned tasks ascending, processors ascending
+    // within each task (exactly the order the dense scan produced).
     node.neighbors.push_back(p);
+    pos[p] = 1;
     for (std::size_t j : node.owned) {
-      for (std::size_t q = 0; q < n; ++q) {
-        if (model_.f(q, j) > 0.0 &&
-            std::find(node.neighbors.begin(), node.neighbors.end(), q) ==
-                node.neighbors.end())
+      for (std::size_t k = ft.row_begin(j); k < ft.row_end(j); ++k) {
+        const std::size_t q = ft.col_index(k);
+        if (pos[q] == 0) {
           node.neighbors.push_back(q);
+          pos[q] = node.neighbors.size();
+        }
       }
     }
 
-    // Local plant: rows = neighborhood, columns = owned tasks.
+    // Local plant: rows = neighborhood, columns = owned tasks, filled by
+    // scattering each owned column through the position map (absent
+    // entries stay zero).
     PlantModel local;
     local.f = Matrix(node.neighbors.size(), node.owned.size());
     local.b = Vector(node.neighbors.size());
     local.rate_min = Vector(node.owned.size());
     local.rate_max = Vector(node.owned.size());
     Vector local_rates(node.owned.size());
-    for (std::size_t qi = 0; qi < node.neighbors.size(); ++qi) {
+    for (std::size_t qi = 0; qi < node.neighbors.size(); ++qi)
       local.b[qi] = model_.b[node.neighbors[qi]];
-      for (std::size_t ji = 0; ji < node.owned.size(); ++ji)
-        local.f(qi, ji) = model_.f(node.neighbors[qi], node.owned[ji]);
-    }
     for (std::size_t ji = 0; ji < node.owned.size(); ++ji) {
-      local.rate_min[ji] = model_.rate_min[node.owned[ji]];
-      local.rate_max[ji] = model_.rate_max[node.owned[ji]];
-      local_rates[ji] = rates_[node.owned[ji]];
+      const std::size_t j = node.owned[ji];
+      for (std::size_t k = ft.row_begin(j); k < ft.row_end(j); ++k)
+        local.f(pos[ft.col_index(k)] - 1, ji) = ft.value(k);
+      local.rate_min[ji] = model_.rate_min[j];
+      local.rate_max[ji] = model_.rate_max[j];
+      local_rates[ji] = rates_[j];
     }
+    for (std::size_t q : node.neighbors) pos[q] = 0;
+
+    node.u_scratch = Vector(node.neighbors.size());
     node.local = std::make_unique<MpcController>(std::move(local), params,
                                                  std::move(local_rates));
     node_of_[p] = nodes_.size();
@@ -86,12 +90,13 @@ const Vector& DecentralizedMpcController::update(const Vector& u) {
   // Each node reads its neighborhood's utilization and commands its owned
   // tasks. Nodes act on the same measurement epoch (as they would in a
   // synchronized sampling period) and do not see each other's current
-  // moves — the decentralized approximation.
+  // moves — the decentralized approximation. The gather buffer is owned by
+  // the node and the local result is consumed in place: steady-state
+  // periods never touch the heap (decentralized_alloc_test proves it).
   for (auto& node : nodes_) {
-    Vector u_local(node.neighbors.size());
     for (std::size_t qi = 0; qi < node.neighbors.size(); ++qi)
-      u_local[qi] = u[node.neighbors[qi]];
-    const Vector r_local = node.local->update(u_local);
+      node.u_scratch[qi] = u[node.neighbors[qi]];
+    const Vector& r_local = node.local->update(node.u_scratch);
     for (std::size_t ji = 0; ji < node.owned.size(); ++ji)
       rates_[node.owned[ji]] = r_local[ji];
   }
@@ -100,15 +105,15 @@ const Vector& DecentralizedMpcController::update(const Vector& u) {
 
 const std::vector<std::size_t>& DecentralizedMpcController::owned_tasks(
     std::size_t p) const {
-  EUCON_REQUIRE(p < node_of_.size() && node_of_[p] != static_cast<std::size_t>(-1),
-                "processor owns no tasks");
+  EUCON_REQUIRE(p < node_of_.size(), "processor index out of range");
+  EUCON_REQUIRE(node_of_[p] != npos, "processor owns no tasks");
   return nodes_[node_of_[p]].owned;
 }
 
 const std::vector<std::size_t>& DecentralizedMpcController::neighborhood(
     std::size_t p) const {
-  EUCON_REQUIRE(p < node_of_.size() && node_of_[p] != static_cast<std::size_t>(-1),
-                "processor owns no tasks");
+  EUCON_REQUIRE(p < node_of_.size(), "processor index out of range");
+  EUCON_REQUIRE(node_of_[p] != npos, "processor owns no tasks");
   return nodes_[node_of_[p]].neighbors;
 }
 

@@ -5,8 +5,11 @@
 // DEUCON (Wang, Lu, Koutsoukos). This module implements that architecture
 // in the same spirit:
 //
-//   * every task is OWNED by the processor hosting its first subtask —
-//     ownership partitions the actuators, so no two controllers command
+//   * every task is OWNED by exactly one processor — the one with the
+//     largest allocation entry in the task's F column, exact ties breaking
+//     to the lowest processor index (the rule is stated once, in
+//     control/topology.h, and shared with the hierarchical controller).
+//     Ownership partitions the actuators, so no two controllers command
 //     the same rate;
 //   * each owning processor runs a LOCAL model predictive controller over
 //     its neighborhood: itself plus the processors that share one of its
@@ -14,6 +17,12 @@
 //   * rates of tasks owned elsewhere are treated as constant over the
 //     local horizon — their effect arrives through the next utilization
 //     measurement (the feedback lanes of Figure 1, now peer-to-peer).
+//
+// Construction is sparsity-driven: F is compressed to CSR once and
+// ownership, neighborhoods and the local F sub-blocks are all read off the
+// nonzero structure in O(nnz), not O(n·m) dense scans. The per-period
+// update is allocation-free: each node's neighborhood-utilization gather
+// buffer lives in the node and the local result is consumed by reference.
 //
 // Compared with the centralized controller this trades optimality for
 // per-node problem size: each node solves an O(|owned| · M) problem
@@ -34,7 +43,7 @@ class DecentralizedMpcController final : public Controller {
   DecentralizedMpcController(PlantModel model, MpcParams params,
                              linalg::Vector initial_rates);
 
-  const linalg::Vector& update(const linalg::Vector& u) override;
+  const linalg::Vector& update(const linalg::Vector& u) override EUCON_REALTIME;
   std::string name() const override { return "DEUCON"; }
 
   // Introspection for tests and benches.
@@ -47,10 +56,13 @@ class DecentralizedMpcController final : public Controller {
   std::size_t max_local_problem_size() const;
 
  private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   struct Node {
     std::size_t processor;
     std::vector<std::size_t> owned;      // global task indices
     std::vector<std::size_t> neighbors;  // global processor indices
+    linalg::Vector u_scratch;            // neighborhood-utilization gather
     std::unique_ptr<MpcController> local;
   };
 

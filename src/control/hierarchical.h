@@ -1,0 +1,136 @@
+// Hierarchical (sharded) end-to-end utilization control.
+//
+// The decentralized controller (control/decentralized.h) runs one local
+// MPC per task-owning processor — right for peer-to-peer deployments, but
+// at cluster scale (1k–10k processors) the per-node bookkeeping dominates
+// and most "neighborhoods" are near-identical slices of the same chains.
+// This module groups processors into contiguous SHARDS and runs one local
+// MPC per shard under a lightweight coordinator:
+//
+//   * tasks are owned exactly as in the decentralized architecture (the
+//     shared rule of control/topology.h: largest allocation entry, ties to
+//     the lowest processor index); a task belongs to the shard containing
+//     its owning processor, so shards partition the actuators;
+//   * a shard's local model is the dense sub-block of the sparse F over
+//     its ROWS (every processor its owned tasks touch — shard members and
+//     boundary processors alike, ascending) and its COLUMNS (owned tasks,
+//     ascending). The sub-block is read straight off the CSR structure;
+//     the global dense F is never materialized;
+//   * the COORDINATOR reconciles boundary processors that several shards
+//     observe with one Gauss–Seidel sweep per period. Shards update in
+//     index order against a PREDICTED utilization ũ that starts at the
+//     measurement and absorbs each earlier shard's rate moves through the
+//     nominal plant model (Δũ = F Δr, read off the CSR columns):
+//
+//         shard s sees   ũ_q ← b_q − γ · (b_q − ũ_q)   over its rows,
+//
+//     then ũ is advanced by the Δr it commanded before the next shard
+//     solves. Every shard therefore works on the RESIDUAL error its
+//     predecessors left — no double-actuation on boundary rows, and a
+//     correction can propagate across every shard boundary within a
+//     single period instead of one hop per period. u = b remains a
+//     fixpoint (zero error commands zero moves, which leave the
+//     prediction untouched), the same steady state the central MPC
+//     settles to; γ < 1 damps how much of the residual each shard takes.
+//     A single all-covering shard sees the raw measurement and reduces
+//     the controller to the central MPC exactly;
+//   * sweeps alternate between two STAGGERED partitions (the base one and
+//     a copy with boundaries shifted by half a shard, odd periods using
+//     the shifted one). A fixed partition can wedge against rate bounds:
+//     a compensation chain that needs task α (shard A) and task β
+//     (shard B) to move jointly stalls when each shard's half of the move
+//     is individually unprofitable. Staggering makes every locally
+//     coupled pair interior to one of the two partitions, so the sweep
+//     escapes those blocked equilibria and lands on the central
+//     fixpoint. Partitions share the actuators; each one's locals are
+//     resynchronized (MpcController::sync_rates, allocation-free) with
+//     the globally applied rates before they solve;
+//   * every local MPC solves its QP through ONE shared workspace sized to
+//     the largest shard (growth-only), so active-set scratch memory scales
+//     with the shard size, not with n.
+//
+// The per-period update is allocation-free after construction
+// (hierarchical steady-state allocation behaviour is covered with the
+// decentralized controller's by decentralized_alloc_test's idiom);
+// bench_scaling reports the period cost against n up to 10k processors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/mpc.h"
+#include "control/sparse_model.h"
+#include "qp/active_set.h"
+
+namespace eucon::control {
+
+struct HierarchicalParams {
+  // Processors per shard (the last shard takes the remainder). One shard
+  // spanning all processors reproduces the central MPC exactly.
+  std::size_t shard_size = 32;
+  // Coordination gain γ on the residual error each shard is handed during
+  // the Gauss–Seidel sweep. 1 = every shard attacks the full remaining
+  // error; < 1 damps per-shard actuation when the nominal-gain prediction
+  // is untrustworthy (strongly time-varying plant gains).
+  double coordination_gain = 1.0;
+
+  void validate() const;
+};
+
+class HierarchicalMpcController final : public Controller {
+ public:
+  HierarchicalMpcController(SparsePlantModel model, MpcParams params,
+                            HierarchicalParams hier,
+                            linalg::Vector initial_rates);
+
+  const linalg::Vector& update(const linalg::Vector& u) override EUCON_REALTIME;
+  std::string name() const override { return "HIER"; }
+
+  // Introspection for tests and benches. Shard-level accessors describe
+  // the BASE partition; the staggered partition mirrors it with
+  // boundaries shifted by shard_size / 2.
+  std::size_t num_shards() const { return partitions_.front().size(); }
+  std::size_t shard_of_processor(std::size_t p) const;
+  // Tasks owned by shard s (global task indices, ascending).
+  const std::vector<std::size_t>& shard_tasks(std::size_t s) const;
+  // Rows shard s observes (global processor indices, ascending; includes
+  // boundary processors outside the shard).
+  const std::vector<std::size_t>& shard_rows(std::size_t s) const;
+  // Shard s's allocation share of each of its rows (same order):
+  // Σ_{j owned by s} f(q,j) / Σ_all j f(q,j). Shares sum to one over the
+  // shards seeing a row; < 1 marks a boundary row. Diagnostic — the sweep
+  // hands shards residuals, not share-scaled errors.
+  const linalg::Vector& shard_row_shares(std::size_t s) const;
+  // Decision variables of the largest local optimization.
+  std::size_t max_shard_problem_size() const;
+  // Capacity of the shared QP workspace (variables, constraint rows).
+  std::pair<std::size_t, std::size_t> workspace_capacity() const;
+
+ private:
+  struct Shard {
+    std::vector<std::size_t> owned;  // global task indices, ascending
+    std::vector<std::size_t> rows;   // global processor indices, ascending
+    linalg::Vector share;            // allocation share per local row
+    linalg::Vector u_scratch;        // reconciled measurement buffer
+    linalg::Vector r_scratch;        // rate resync gather buffer
+    std::unique_ptr<MpcController> local;
+  };
+
+  std::vector<Shard> build_partition(std::size_t offset, MpcParams params);
+
+  SparsePlantModel model_;
+  HierarchicalParams hier_;
+  // partitions_[0] is the base partition; partitions_[1], present unless
+  // the base is a single all-covering shard (or shard_size == 1), has its
+  // boundaries shifted by shard_size / 2. update() alternates.
+  std::vector<std::vector<Shard>> partitions_;
+  std::vector<std::size_t> shard_of_;  // processor -> base shard index
+  linalg::SparseMatrix ft_;     // F^T: per-task processor lists (CSR rows)
+  linalg::Vector u_pred_;       // sweep prediction, advanced shard by shard
+  std::size_t period_ = 0;      // parity selects the sweep partition
+  qp::QpWorkspace shared_ws_;   // one workspace for every local QP
+  linalg::Vector rates_;
+};
+
+}  // namespace eucon::control

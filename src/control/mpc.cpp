@@ -97,7 +97,8 @@ MpcMatrices build_mpc_matrices(const PlantModel& model, const MpcParams& params)
 }
 
 MpcController::MpcController(PlantModel model, MpcParams params,
-                             Vector initial_rates)
+                             Vector initial_rates,
+                             qp::QpWorkspace* shared_workspace)
     : model_(std::move(model)),
       active_model_(model_),
       params_(std::move(params)),
@@ -108,7 +109,8 @@ MpcController::MpcController(PlantModel model, MpcParams params,
       tracked_count_(model_.num_processors()),
       gain_estimate_(model_.num_processors(), 1.0),
       rates_(std::move(initial_rates)),
-      dr_prev_(model_.num_tasks(), 0.0) {
+      dr_prev_(model_.num_tasks(), 0.0),
+      shared_ws_(shared_workspace) {
   EUCON_REQUIRE(rates_.size() == model_.num_tasks(),
                 "initial rate vector size mismatch");
   rates_ = rates_.clamped(model_.rate_min, model_.rate_max);
@@ -179,11 +181,22 @@ void MpcController::rebuild_constraint_templates() {
 
   // Size the QP workspace for the larger template here, off the hot path:
   // update() then solves either instance without allocating.
-  qp_ws_.reserve(cols, util_rows + rate_rows);
+  active_workspace().reserve(cols, util_rows + rate_rows);
 
-  // A model change invalidates the carried working sets.
+  // A model change invalidates the carried working sets. Reserving each to
+  // its template's row count here keeps the post-solve working-set copy in
+  // update() heap-free even the first time a new high-water count appears.
   warm_full_.working.clear();
+  warm_full_.working.reserve(util_rows + rate_rows);
   warm_rates_.working.clear();
+  warm_rates_.working.reserve(rate_rows);
+}
+
+void MpcController::set_shared_workspace(qp::QpWorkspace* ws) {
+  shared_ws_ = ws;
+  // Growth-only: reserving for this controller's larger template leaves any
+  // capacity a bigger sibling already established untouched.
+  active_workspace().reserve(a_full_.cols(), a_full_.rows());
 }
 
 void MpcController::set_enabled_tasks(const std::vector<bool>& enabled) {
@@ -215,6 +228,14 @@ void MpcController::reset_rates(const linalg::Vector& rates) {
   EUCON_CHECK_FINITE_VEC("MpcController::reset_rates input", rates);
   rates_ = rates.clamped(model_.rate_min, model_.rate_max);
   dr_prev_ = Vector(model_.num_tasks(), 0.0);
+}
+
+void MpcController::sync_rates(const linalg::Vector& rates) {
+  EUCON_REQUIRE(rates.size() == model_.num_tasks(),
+                "rate vector size mismatch");
+  for (std::size_t j = 0; j < rates_.size(); ++j)
+    rates_[j] =
+        std::clamp(rates[j], model_.rate_min[j], model_.rate_max[j]);
 }
 
 void MpcController::set_allocation_matrix(const linalg::Matrix& f) {
@@ -324,8 +345,8 @@ const Vector& MpcController::update(const Vector& u) {
   qp::WarmStart& warm = util_rows ? warm_full_ : warm_rates_;
   {
     OBS_TIMED(metrics_, "qp.solve");
-    solver_.solve_into(d_, a, b_scratch_, x0, params_.solver, &warm, qp_ws_,
-                       result_);
+    solver_.solve_into(d_, a, b_scratch_, x0, params_.solver, &warm,
+                       active_workspace(), result_);
   }
   last_status_ = result_.status;
   last_iterations_ = result_.iterations;

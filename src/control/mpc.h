@@ -73,8 +73,12 @@ MpcMatrices build_mpc_matrices(const PlantModel& model, const MpcParams& params)
 
 class MpcController final : public Controller {
  public:
+  // `shared_workspace` (optional) routes the active-set QP through a
+  // caller-owned workspace from the first solve on, and the private
+  // workspace is never sized — see set_shared_workspace.
   MpcController(PlantModel model, MpcParams params,
-                linalg::Vector initial_rates);
+                linalg::Vector initial_rates,
+                qp::QpWorkspace* shared_workspace = nullptr);
 
   const linalg::Vector& update(const linalg::Vector& u) override EUCON_REALTIME;
   std::string name() const override { return "EUCON"; }
@@ -108,6 +112,12 @@ class MpcController final : public Controller {
   // applied rates (watchdog recovery after a blackout handled by a backup
   // policy). Clamps into [R_min, R_max] and zeroes the carried Δr(k-1).
   void reset_rates(const linalg::Vector& rates);
+
+  // Hot-path variant of reset_rates for coordinators that interleave
+  // several controllers over the same actuators (hierarchical staggered
+  // sweeps): clamps element-wise into the existing buffer — no
+  // allocation — and keeps the carried Δr(k-1).
+  void sync_rates(const linalg::Vector& rates) EUCON_REALTIME;
 
   // Replaces the allocation matrix after a task reallocation (§6.2): the
   // prediction model follows the new placement; rates and set points are
@@ -146,6 +156,16 @@ class MpcController final : public Controller {
   // `mpc.update` / `qp.solve` scoped timers and nothing else changes. The
   // registry must outlive the controller or the next set call.
   void set_metrics_registry(obs::Registry* registry) { metrics_ = registry; }
+
+  // Routes the active-set QP through a caller-owned workspace instead of
+  // the controller's private one (null restores the private workspace).
+  // The hierarchical controller shares one workspace — sized here to this
+  // controller's larger constraint template, growth-only — across every
+  // local MPC in a shard, so scratch memory scales with the largest local
+  // problem instead of with controller count. The workspace must outlive
+  // the controller or the next set call; sharing one workspace across
+  // controllers updated concurrently is a data race.
+  void set_shared_workspace(qp::QpWorkspace* ws);
 
  private:
   // Rebuilds the constraint-matrix templates (they depend only on the
@@ -201,7 +221,14 @@ class MpcController final : public Controller {
   qp::WarmStart warm_rates_;
   // Active-set QP scratch, reserved for the larger constraint template so a
   // period's solve — fast path miss included — never touches the heap.
+  // `shared_ws_` (when set) substitutes a caller-owned workspace for the
+  // private one on every solve.
   qp::QpWorkspace qp_ws_;
+  qp::QpWorkspace* shared_ws_ = nullptr;  // non-owning; null = use qp_ws_
+
+  qp::QpWorkspace& active_workspace() {
+    return shared_ws_ != nullptr ? *shared_ws_ : qp_ws_;
+  }
 };
 
 }  // namespace eucon::control

@@ -1,0 +1,109 @@
+#include "control/sparse_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eucon::control {
+
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+void SparsePlantModel::validate() const {
+  const std::size_t n = f.rows();
+  const std::size_t m = f.cols();
+  EUCON_REQUIRE(n > 0 && m > 0, "plant model needs processors and tasks");
+  EUCON_REQUIRE(b.size() == n, "set-point vector size mismatch");
+  EUCON_REQUIRE(rate_min.size() == m && rate_max.size() == m,
+                "rate bound size mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    EUCON_REQUIRE(b[i] > 0.0 && b[i] <= 1.0, "set points must be in (0, 1]");
+  for (std::size_t j = 0; j < m; ++j) {
+    EUCON_REQUIRE(rate_min[j] > 0.0, "rate_min must be positive");
+    EUCON_REQUIRE(rate_max[j] >= rate_min[j], "rate_max < rate_min");
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = f.row_begin(r); k < f.row_end(r); ++k)
+      EUCON_REQUIRE(f.value(k) >= 0.0, "allocation matrix must be non-negative");
+}
+
+PlantModel SparsePlantModel::to_dense() const {
+  PlantModel dense;
+  dense.f = f.to_dense();
+  dense.b = b;
+  dense.rate_min = rate_min;
+  dense.rate_max = rate_max;
+  dense.validate();
+  return dense;
+}
+
+SparsePlantModel make_sparse_plant_model(const rts::SystemSpec& spec,
+                                         const Vector& set_points) {
+  spec.validate();
+  const std::size_t n = static_cast<std::size_t>(spec.num_processors);
+  const std::size_t m = spec.num_tasks();
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(spec.num_subtasks());
+  for (std::size_t j = 0; j < m; ++j)
+    for (const rts::SubtaskSpec& sub : spec.tasks[j].subtasks)
+      entries.push_back({static_cast<std::size_t>(sub.processor), j,
+                         sub.estimated_exec});
+
+  SparsePlantModel model;
+  model.f = SparseMatrix::from_triplets(n, m, std::move(entries));
+  model.b = set_points.empty() ? spec.liu_layland_set_points() : set_points;
+  model.rate_min = spec.rate_min_vector();
+  model.rate_max = spec.rate_max_vector();
+  model.validate();
+  return model;
+}
+
+SparsePlantModel sparsify(const PlantModel& model) {
+  model.validate();
+  SparsePlantModel sparse;
+  sparse.f = SparseMatrix::from_dense(model.f);
+  sparse.b = model.b;
+  sparse.rate_min = model.rate_min;
+  sparse.rate_max = model.rate_max;
+  return sparse;
+}
+
+SparseLinearPlant::SparseLinearPlant(SparsePlantModel model, Vector gains,
+                                     Vector initial_rates)
+    : model_(std::move(model)),
+      gains_(std::move(gains)),
+      rates_prev_(std::move(initial_rates)),
+      dr_(model_.num_tasks(), 0.0),
+      du_(model_.num_processors(), 0.0),
+      u_(model_.num_processors(), 0.0) {
+  model_.validate();
+  EUCON_REQUIRE(gains_.size() == model_.num_processors(),
+                "gain vector size mismatch");
+  EUCON_REQUIRE(rates_prev_.size() == model_.num_tasks(),
+                "initial rate vector size mismatch");
+  rates_prev_ = rates_prev_.clamped(model_.rate_min, model_.rate_max);
+  // u(0) = G F r(0): the utilization the initial rates produce.
+  linalg::multiply_into(model_.f, rates_prev_, u_);
+  for (std::size_t i = 0; i < u_.size(); ++i)
+    u_[i] = std::clamp(gains_[i] * u_[i], 0.0, 1.0);
+}
+
+const Vector& SparseLinearPlant::step(const Vector& rates) {
+  EUCON_REQUIRE(rates.size() == model_.num_tasks(),
+                "rate vector size mismatch");
+  for (std::size_t j = 0; j < dr_.size(); ++j)
+    dr_[j] = rates[j] - rates_prev_[j];
+  linalg::multiply_into(model_.f, dr_, du_);
+  for (std::size_t i = 0; i < u_.size(); ++i)
+    u_[i] = std::clamp(u_[i] + gains_[i] * du_[i], 0.0, 1.0);
+  for (std::size_t j = 0; j < dr_.size(); ++j) rates_prev_[j] = rates[j];
+  EUCON_CHECK_FINITE_VEC("SparseLinearPlant::step result", u_);
+  return u_;
+}
+
+void SparseLinearPlant::set_utilization(const Vector& u) {
+  EUCON_REQUIRE(u.size() == u_.size(), "utilization vector size mismatch");
+  u_ = u;
+}
+
+}  // namespace eucon::control

@@ -1,0 +1,35 @@
+// Task-ownership topology shared by the decentralized (per-processor) and
+// hierarchical (per-shard) controllers.
+//
+// Ownership partitions the actuators: every task is commanded by exactly
+// one controller, the one responsible for the processor that OWNS the
+// task. The rule, stated once here so both architectures agree:
+//
+//   owner(j) = the processor with the largest allocation entry f(i, j);
+//   exact ties break to the LOWEST processor index.
+//
+// This is a deterministic stand-in for "the processor of the first
+// subtask", which the flattened F cannot recover. A task whose F column is
+// all zero touches no processor and cannot be controlled — that is a model
+// error, reported with the offending task index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse.h"
+
+namespace eucon::control {
+
+struct OwnershipTopology {
+  std::vector<std::size_t> owner;  // task j -> owning processor
+  std::vector<std::vector<std::size_t>> owned;  // processor -> owned tasks,
+                                                // ascending task index
+};
+
+// Computes the ownership partition from the n×m allocation matrix in
+// sparse form: O(nnz), no dense column scans. Throws (naming the task)
+// when a column is all zero or holds no positive entry.
+OwnershipTopology compute_ownership(const linalg::SparseMatrix& f);
+
+}  // namespace eucon::control

@@ -20,9 +20,12 @@
 #include "control/gain_estimator.h"
 #include "control/decentralized.h"
 #include "control/diagnostics.h"
+#include "control/hierarchical.h"
 #include "control/linear_plant.h"
 #include "control/model.h"
 #include "control/mpc.h"
+#include "control/sparse_model.h"
+#include "control/topology.h"
 #include "control/open_loop.h"
 #include "control/pid.h"
 #include "control/reallocation.h"
@@ -39,6 +42,7 @@
 #include "eucon/workloads.h"
 #include "linalg/eig.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 #include "linalg/vector.h"
 #include "qp/lsqlin.h"
 #include "rts/simulator.h"

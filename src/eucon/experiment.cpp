@@ -32,6 +32,8 @@ const char* controller_kind_name(ControllerKind kind) {
       return "EUCON-A";
     case ControllerKind::kUncoordinated:
       return "FCS-IND";
+    case ControllerKind::kHierarchical:
+      return "HIER";
   }
   return "?";
 }
@@ -57,6 +59,9 @@ std::unique_ptr<control::Controller> make_controller(
     case ControllerKind::kUncoordinated:
       return std::make_unique<control::UncoordinatedFcsController>(
           model, config.fcs, r0);
+    case ControllerKind::kHierarchical:
+      return std::make_unique<control::HierarchicalMpcController>(
+          control::sparsify(model), config.mpc, config.hier, r0);
   }
   EUCON_FAIL_INVALID("unknown controller kind");
 }

@@ -11,6 +11,7 @@
 
 #include "control/admission.h"
 #include "control/controller.h"
+#include "control/hierarchical.h"
 #include "control/reallocation.h"
 #include "control/uncoordinated.h"
 #include "control/mpc.h"
@@ -32,6 +33,7 @@ enum class ControllerKind {
   kDecentralized,  // per-processor local MPCs (the paper's future work)
   kAdaptive,       // MPC with on-line gain estimation (self-tuning EUCON)
   kUncoordinated,  // independent per-processor FCS (the §2 strawman)
+  kHierarchical,   // sharded local MPCs + boundary coordinator (cluster scale)
 };
 
 const char* controller_kind_name(ControllerKind kind);
@@ -39,9 +41,10 @@ const char* controller_kind_name(ControllerKind kind);
 struct ExperimentConfig {
   rts::SystemSpec spec;
   ControllerKind controller = ControllerKind::kEucon;
-  control::MpcParams mpc;            // used by kEucon/kDecentralized/kAdaptive
+  control::MpcParams mpc;            // used by kEucon/kDecentralized/kAdaptive/kHierarchical
   control::PidParams pid;            // used by kPid
   control::UncoordinatedParams fcs;  // used by kUncoordinated
+  control::HierarchicalParams hier;  // used by kHierarchical
   linalg::Vector set_points;         // empty = Liu–Layland bounds (eq. 13)
   double sampling_period = 1000.0;   // Ts, in time units (Table 2)
   int num_periods = 300;             // simulation length in sampling periods

@@ -226,9 +226,10 @@ ControllerKind parse_controller_kind(const std::string& name) {
   if (name == "deucon") return ControllerKind::kDecentralized;
   if (name == "adaptive") return ControllerKind::kAdaptive;
   if (name == "fcs-ind") return ControllerKind::kUncoordinated;
+  if (name == "hier") return ControllerKind::kHierarchical;
   EUCON_FAIL_INVALID("scenario: unknown controller \"" + name +
-                     "\" (expected eucon, open, pid, deucon, adaptive or "
-                     "fcs-ind)");
+                     "\" (expected eucon, open, pid, deucon, adaptive, "
+                     "fcs-ind or hier)");
 }
 
 // ---------------------------------------------------------------------------

@@ -170,4 +170,42 @@ SystemSpec random_workload(const RandomWorkloadParams& params,
   return s;
 }
 
+SystemSpec chain_cluster(const ChainClusterParams& params,
+                         std::uint64_t seed) {
+  EUCON_REQUIRE(params.num_processors > 0, "chain cluster needs processors");
+  EUCON_REQUIRE(params.tasks_per_processor >= 1,
+                "chain cluster needs at least one task per processor");
+  EUCON_REQUIRE(params.chain_length >= 1, "chain length must be >= 1");
+  EUCON_REQUIRE(params.chain_length <= params.num_processors,
+                "chain longer than the processor ring");
+  EUCON_REQUIRE(params.subtask_decay > 0.0 && params.subtask_decay <= 1.0,
+                "subtask_decay must be in (0, 1]");
+  Rng rng(seed);
+  SystemSpec s;
+  s.num_processors = params.num_processors;
+  const int m = params.num_processors * params.tasks_per_processor;
+  s.tasks.reserve(static_cast<std::size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    TaskSpec task;
+    task.name = "C" + std::to_string(t + 1);
+    const int p0 = t % params.num_processors;
+    task.subtasks.reserve(static_cast<std::size_t>(params.chain_length));
+    double scale = 1.0;
+    for (int k = 0; k < params.chain_length; ++k) {
+      SubtaskSpec sub;
+      sub.processor = (p0 + k) % params.num_processors;
+      sub.estimated_exec = scale * rng.uniform(params.min_exec, params.max_exec);
+      scale *= params.subtask_decay;
+      task.subtasks.push_back(sub);
+    }
+    const double period = rng.uniform(params.min_period, params.max_period);
+    task.initial_rate = 1.0 / period;
+    task.rate_min = task.initial_rate / 8.0;
+    task.rate_max = task.initial_rate * 8.0;
+    s.tasks.push_back(std::move(task));
+  }
+  s.validate();
+  return s;
+}
+
 }  // namespace eucon::workloads

@@ -57,4 +57,36 @@ struct RandomWorkloadParams {
 rts::SystemSpec random_workload(const RandomWorkloadParams& params,
                                 std::uint64_t seed);
 
+struct ChainClusterParams {
+  int num_processors = 1024;
+  // m = num_processors * tasks_per_processor tasks; task t starts on
+  // processor t mod n, so ownership spreads evenly.
+  int tasks_per_processor = 2;
+  // Subtasks per task, placed on consecutive processors (p0, p0+1, …
+  // mod n): the chain topology keeps coupling local, so contiguous
+  // processor shards see few boundary tasks.
+  int chain_length = 3;
+  double min_exec = 10.0;
+  double max_exec = 50.0;
+  // Subtask k's execution time is scaled by decay^k: 1.0 (default) draws
+  // every subtask from [min_exec, max_exec]; values < 1 make the home
+  // processor's subtask dominate its successors, which keeps F
+  // column-diagonally dominant (well-conditioned, so u = b pins the rates)
+  // and the cross-shard coupling weak enough for decentralized/hierarchical
+  // controllers to contract fast. Must be in (0, 1].
+  double subtask_decay = 1.0;
+  // Initial periods drawn uniformly in [min_period, max_period]; rate
+  // bounds span [initial/8, initial*8] as in random_workload.
+  double min_period = 100.0;
+  double max_period = 800.0;
+};
+
+// Cluster-scale chain workload for the sparse/hierarchical control plane:
+// deterministic given the seed, F has chain_length nonzeros per column
+// (density chain_length/n), and every processor hosts exactly
+// tasks_per_processor · chain_length subtasks. Scales to 10k processors;
+// pair with make_sparse_plant_model — the dense F does not fit at that n.
+rts::SystemSpec chain_cluster(const ChainClusterParams& params,
+                              std::uint64_t seed);
+
 }  // namespace eucon::workloads

@@ -96,6 +96,61 @@ TEST(CallGraphTest, MethodCallThroughObjectResolvesToMethodsByLeafName) {
             (std::set<std::string>{"Engine::start"}));
 }
 
+TEST(CallGraphTest, TypedFieldReceiverNarrowsMemberResolution) {
+  // Two unrelated classes both define update(); a call through a field of
+  // declared type (smart pointer or raw) must reach only that class's
+  // method, not every override in the repo.
+  const ea::CallGraph g = build(
+      {{"a.cpp",
+        "class Engine {\n"
+        " public:\n"
+        "  void update() {}\n"
+        "};\n"
+        "class Radio {\n"
+        " public:\n"
+        "  void update() {}\n"
+        "};\n"
+        "class Car {\n"
+        " public:\n"
+        "  void drive() { engine_->update(); dash.radio->update(); }\n"
+        " private:\n"
+        "  struct Dash { std::unique_ptr<Radio> radio; };\n"
+        "  Engine* engine_;\n"
+        "  Dash dash;\n"
+        "};\n"}});
+  const ea::CgFunction* drive = g.find("Car::drive");
+  ASSERT_NE(drive, nullptr);
+  ASSERT_EQ(drive->calls.size(), 2u);
+  EXPECT_EQ(drive->calls[0].receiver, "engine_");
+  EXPECT_EQ(drive->calls[1].receiver, "dash.radio");
+  EXPECT_EQ(callee_names(g, "Car::drive"),
+            (std::set<std::string>{"Engine::update", "Radio::update"}));
+}
+
+TEST(CallGraphTest, TypedParameterReceiverNarrowsMemberResolution) {
+  // Function parameters record receiver types the same way fields do:
+  // `a.value(k)` through `const Sparse& a` must not reach Reader::value.
+  const ea::CallGraph g =
+      build({{"a.cpp",
+              "class Sparse { public: double value(int k) { return 0; } };\n"
+              "class Reader { public: double value() { return 0; } };\n"
+              "double sum(const Sparse& a) { return a.value(0); }\n"}});
+  EXPECT_EQ(callee_names(g, "sum"),
+            (std::set<std::string>{"Sparse::value"}));
+}
+
+TEST(CallGraphTest, UntypedReceiverKeepsAllMethodsFallback) {
+  // A receiver that is not a plain recorded name chain (here: a call
+  // expression) must keep the conservative every-method resolution.
+  const ea::CallGraph g = build({{"a.cpp",
+                                  "class A { public: void poke() {} };\n"
+                                  "class B { public: void poke() {} };\n"
+                                  "A* pick();\n"
+                                  "void f() { pick()->poke(); }\n"}});
+  EXPECT_EQ(callee_names(g, "f"),
+            (std::set<std::string>{"A::poke", "B::poke", "pick"}));
+}
+
 TEST(CallGraphTest, MemberCallNeverBindsToFreeFunction) {
   // `.solve(` must not resolve to a free function named solve — the member
   // fallback is methods-only (over-approximate, never cross-kind).

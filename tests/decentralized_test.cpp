@@ -119,6 +119,62 @@ TEST(DecentralizedTest, TracksDynamicLoadLikeCentralized) {
   EXPECT_LT(gap, 0.03);
 }
 
+TEST(DecentralizedTest, SplitsOutOfRangeFromOwnerlessDiagnostics) {
+  // 2 processors, 1 task owned by P0: P1 is a valid index that owns
+  // nothing, 7 is caller misuse — the two must be distinguishable.
+  PlantModel model;
+  model.f = linalg::Matrix{{2.0}, {1.0}};
+  model.b = Vector{0.8, 0.8};
+  model.rate_min = Vector{0.001};
+  model.rate_max = Vector{0.1};
+  DecentralizedMpcController ctrl(model, workloads::simple_controller_params(),
+                                  Vector{0.01});
+  try {
+    ctrl.owned_tasks(7);
+    FAIL() << "out-of-range index must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  try {
+    ctrl.neighborhood(1);
+    FAIL() << "ownerless processor must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("owns no tasks"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DecentralizedTest, OwnershipTieBreaksToLowestProcessorIndex) {
+  // Task 0 ties across P1 and P2 (P0 holds a smaller entry): the
+  // documented rule assigns it to P1, deterministically.
+  PlantModel model;
+  model.f = linalg::Matrix{{1.0, 0.0}, {5.0, 2.0}, {5.0, 0.0}};
+  model.b = Vector{0.8, 0.8, 0.8};
+  model.rate_min = Vector{0.001, 0.001};
+  model.rate_max = Vector{0.1, 0.1};
+  DecentralizedMpcController ctrl(model, workloads::simple_controller_params(),
+                                  Vector{0.01, 0.01});
+  ASSERT_EQ(ctrl.owned_tasks(1).size(), 2u);
+  EXPECT_THROW(ctrl.owned_tasks(2), std::invalid_argument);
+}
+
+TEST(DecentralizedTest, AllZeroAllocationColumnNamesTheTask) {
+  PlantModel model;
+  model.f = linalg::Matrix{{2.0, 0.0}, {1.0, 0.0}};
+  model.b = Vector{0.8, 0.8};
+  model.rate_min = Vector{0.001, 0.001};
+  model.rate_max = Vector{0.1, 0.1};
+  try {
+    DecentralizedMpcController ctrl(
+        model, workloads::simple_controller_params(), Vector{0.01, 0.01});
+    FAIL() << "all-zero column must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("task 1"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(DecentralizedTest, RejectsBadSizes) {
   const PlantModel model = make_plant_model(workloads::simple());
   EXPECT_THROW(

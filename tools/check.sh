@@ -44,6 +44,9 @@
 #   tools/check.sh --steer     # scenario/steering suite under ASan/UBSan, the
 #                              # determinism contract under TSan, and the
 #                              # BENCH_STEERING.json acceptance gate
+#   tools/check.sh --scale     # bench_scaling --smoke (sharded controller up
+#                              # to 10k processors) + schema and blowup gate
+#                              # on the checked-in BENCH_SCALING.json
 #
 # Each preset builds into build-<preset>/ (gitignored). Exit status is
 # nonzero as soon as any preset fails.
@@ -249,6 +252,70 @@ EOF
   echo "=== [perf] OK ==="
 }
 
+# Cluster-scale gate: builds bench_scaling, runs its self-validating
+# --smoke pass (closed loops at every n from 16 to 10k, sharded-vs-central
+# parity, schema validation of the freshly emitted report), then holds the
+# *checked-in* BENCH_SCALING.json to the same contract: a full (non-smoke)
+# run covering every processor count, settled loops, parity within
+# tolerance on every n <= 128 scenario, and the superlinear-blowup guard —
+# the per-period cost at n=10k must stay under 100x the n=1k cost.
+run_scale() {
+  local dir="$ROOT/build-default"
+  echo "=== [scale] build bench_scaling ==="
+  # shellcheck disable=SC2046  # gen_flags emits zero or two words
+  cmake -B "$dir" -S "$ROOT" $(gen_flags "$dir") >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target bench_scaling
+  echo "=== [scale] bench_scaling --smoke (self-validating report) ==="
+  "$dir/bench/bench_scaling" --smoke --json "$dir/bench_scaling_smoke.json"
+  echo "=== [scale] checked-in BENCH_SCALING.json gate ==="
+  python3 - "$ROOT/BENCH_SCALING.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+if rep.get("schema_version", 0) < 1:
+    sys.exit("BENCH_SCALING.json: schema_version < 1; regenerate with "
+             "bench_scaling")
+if rep.get("smoke"):
+    sys.exit("BENCH_SCALING.json: checked-in report must come from a full "
+             "run, not --smoke")
+points = {p["processors"]: p for p in rep["points"]}
+expected = [16, 128, 1000, 4000, 10000]
+missing = [n for n in expected if n not in points]
+if missing:
+    sys.exit("BENCH_SCALING.json: missing processor counts %s" % missing)
+problems = []
+for n in expected:
+    p = points[n]
+    if p["period_p50_us"] <= 0:
+        problems.append("n=%d period_p50_us not positive" % n)
+    if p["steady_err_max"] >= 0.02:
+        problems.append("n=%d loop did not settle (steady_err_max=%.4f)"
+                        % (n, p["steady_err_max"]))
+    if p["workspace_vars"] != p["max_shard_vars"]:
+        problems.append("n=%d QP workspace not sized per shard" % n)
+blowup = points[10000]["period_p50_us"] / points[1000]["period_p50_us"]
+if blowup >= 100:
+    problems.append("superlinear blowup: 10k period cost is %.1fx the 1k "
+                    "cost (floor: < 100x)" % blowup)
+for par in rep["parity"]:
+    if par["processors"] > 128:
+        problems.append("parity entry beyond n=128")
+    if par["max_rate_gap_rel"] >= 0.02:
+        problems.append("n=%d sharded rates diverge from central MPC "
+                        "(gap %.4f)" % (par["processors"],
+                                        par["max_rate_gap_rel"]))
+    if par["util_err_hier"] >= 0.01:
+        problems.append("n=%d sharded loop off set points (%.4f)"
+                        % (par["processors"], par["util_err_hier"]))
+if problems:
+    sys.exit("BENCH_SCALING.json: " + "; ".join(problems) +
+             "; regenerate and investigate before publishing")
+print("BENCH_SCALING.json: n=16..10k all settled, blowup %.1fx, "
+      "parity OK -> OK" % blowup)
+EOF
+  echo "=== [scale] OK ==="
+}
+
 # The scenario-DSL + best-arm-steering surface (docs/steering.md): parser
 # property tests, the statistical-correctness suite for the elimination
 # rule, the serial-vs-pooled decision-log byte-equality contract (including
@@ -307,9 +374,10 @@ for arg in "$@"; do
     --faults) MODE="faults" ;;
     --perf) MODE="perf" ;;
     --steer) MODE="steer" ;;
+    --scale) MODE="scale" ;;
     --tsan) TSAN=1 ;;
     --help | -h)
-      sed -n '2,38p' "$0"
+      sed -n '2,49p' "$0"
       exit 0
       ;;
     *)
@@ -338,6 +406,9 @@ case "$MODE" in
     ;;
   steer)
     run_steer
+    ;;
+  scale)
+    run_scale
     ;;
   fast)
     run_lint
